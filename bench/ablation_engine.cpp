@@ -1,0 +1,110 @@
+// Ablation: engine modelling choices.
+//  * adaptive vs deterministic routing — how much of the fat-tree's
+//    non-blocking behaviour comes from load-aware up-port selection;
+//  * rate quantisation — the accuracy/speed trade-off of snapping max-min
+//    rates onto a geometric grid.
+#include <chrono>
+#include <cstdio>
+
+#include "flowsim/engine.hpp"
+#include "topo/factory.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "workloads/factory.hpp"
+
+namespace {
+
+using namespace nestflow;
+
+struct RunOutcome {
+  double makespan;
+  double wall_seconds;
+  std::uint64_t events;
+};
+
+RunOutcome run_once(const Topology& topology, const TrafficProgram& program,
+                    bool adaptive, double quantum) {
+  EngineOptions options;
+  options.adaptive_routing = adaptive;
+  options.rate_quantum_rel = quantum;
+  FlowEngine engine(topology, options);
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = engine.run(program);
+  const auto stop = std::chrono::steady_clock::now();
+  return RunOutcome{result.makespan,
+                    std::chrono::duration<double>(stop - start).count(),
+                    result.events};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("ablation_engine",
+                "adaptive-routing and rate-quantisation ablations");
+  cli.add_option("nodes", "machine size in QFDBs (power of two)", "512");
+  cli.add_option("seed", "workload seed", "42");
+  if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+  const auto nodes = static_cast<std::uint32_t>(cli.get_uint("nodes"));
+
+  std::printf("== Ablation: engine modelling choices (N = %u) ==\n\n", nodes);
+
+  // --- adaptive vs deterministic routing on the fat-tree ---------------
+  {
+    Table table({"workload", "topology", "deterministic", "adaptive",
+                 "det/adaptive"});
+    for (const char* spec : {"fattree", "nesttree", "torus"}) {
+      std::unique_ptr<Topology> topology;
+      if (std::string(spec) == "fattree") {
+        topology = make_reference_fattree(nodes);
+      } else if (std::string(spec) == "nesttree") {
+        topology = make_nested(nodes, 2, 2, UpperTierKind::kFattree);
+      } else {
+        topology = make_reference_torus(nodes);
+      }
+      for (const char* workload_name : {"bisection", "unstructured-app",
+                                        "reduce"}) {
+        const auto workload = make_workload(workload_name);
+        WorkloadContext context;
+        context.num_tasks = nodes;
+        context.seed = cli.get_uint("seed");
+        const auto program = workload->generate(context);
+        const auto det = run_once(*topology, program, false, 0.01);
+        const auto ada = run_once(*topology, program, true, 0.01);
+        table.add_row({workload_name, topology->name(),
+                       format_time(det.makespan), format_time(ada.makespan),
+                       format_fixed(det.makespan / ada.makespan, 2)});
+      }
+    }
+    std::printf("-- adaptive up-port selection --\n");
+    std::fputs(table.to_text().c_str(), stdout);
+    std::printf("\nExpectation: large gains on fat-tree permutation traffic,\n"
+                "none on the torus (no path diversity) or on Reduce\n"
+                "(consumption-bound).\n\n");
+  }
+
+  // --- rate quantisation -----------------------------------------------
+  {
+    Table table({"quantum", "makespan", "error vs exact", "events",
+                 "wall time"});
+    const auto topology = make_reference_torus(nodes);
+    const auto workload = make_workload("unstructured-app");
+    WorkloadContext context;
+    context.num_tasks = nodes;
+    context.seed = cli.get_uint("seed");
+    const auto program = workload->generate(context);
+    const auto exact = run_once(*topology, program, true, 0.0);
+    for (const double quantum : {0.0, 0.001, 0.01, 0.03, 0.1}) {
+      const auto outcome = run_once(*topology, program, true, quantum);
+      table.add_row({format_fixed(quantum, 3),
+                     format_time(outcome.makespan),
+                     format_percent(outcome.makespan / exact.makespan - 1.0, 3),
+                     std::to_string(outcome.events),
+                     format_time(outcome.wall_seconds)});
+    }
+    std::printf("-- rate quantisation (torus, unstructured-app) --\n");
+    std::fputs(table.to_text().c_str(), stdout);
+    std::printf("\nExpectation: event counts collapse with coarser grids while"
+                "\nthe makespan error stays around the quantum itself.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation: task placement. The hybrids' advantage rests on locality —
+// consecutive task ranks landing in the same subtorus. This bench sweeps
+// all four placement policies (blocked / linear / random / round-robin)
+// over neighbour-structured and unstructured traffic on representative
+// topologies, quantifying how much of the hybrid win is placement.
+#include <cstdio>
+
+#include "core/placement.hpp"
+#include "flowsim/engine.hpp"
+#include "topo/factory.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "workloads/factory.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nestflow;
+  CliParser cli("ablation_mapping",
+                "placement-policy sweep on the hybrid topologies");
+  cli.add_option("nodes", "machine size in QFDBs (power of two)", "512");
+  cli.add_option("seed", "workload/placement seed", "42");
+  if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+  const auto nodes = static_cast<std::uint32_t>(cli.get_uint("nodes"));
+  const std::uint64_t seed = cli.get_uint("seed");
+
+  std::printf("== Ablation: task placement (N = %u) ==\n\n", nodes);
+  Table table({"topology", "workload", "blocked", "linear", "random",
+               "round-robin", "worst/best"});
+
+  constexpr PlacementPolicy kPolicies[] = {
+      PlacementPolicy::kBlocked, PlacementPolicy::kLinear,
+      PlacementPolicy::kRandom, PlacementPolicy::kRoundRobin};
+
+  EngineOptions options;
+  options.rate_quantum_rel = 0.01;
+
+  for (const char* topo_key : {"torus", "nesttree-t4u2", "nestghc-t4u2",
+                               "fattree"}) {
+    std::unique_ptr<Topology> topology;
+    const std::string key = topo_key;
+    if (key == "torus") {
+      topology = make_reference_torus(nodes);
+    } else if (key == "fattree") {
+      topology = make_reference_fattree(nodes);
+    } else {
+      topology = make_nested(nodes, 4, 2,
+                             key == "nesttree-t4u2" ? UpperTierKind::kFattree
+                                                    : UpperTierKind::kGhc);
+    }
+    FlowEngine engine(*topology, options);
+    for (const char* workload_name :
+         {"nearneighbors", "nbodies", "unstructured-app"}) {
+      const auto workload = make_workload(workload_name);
+      WorkloadContext context;
+      context.num_tasks = nodes;
+      context.seed = seed;
+      const auto base_program = workload->generate(context);
+
+      std::vector<std::string> cells = {topology->name(), workload_name};
+      double best = 0.0, worst = 0.0;
+      for (const auto policy : kPolicies) {
+        auto program = base_program;
+        apply_task_mapping(
+            program, make_placement(policy, nodes, *topology, seed + 1));
+        const double makespan = engine.run(program).makespan;
+        best = best == 0.0 ? makespan : std::min(best, makespan);
+        worst = std::max(worst, makespan);
+        cells.push_back(format_time(makespan));
+      }
+      cells.push_back(format_fixed(worst / best, 2) + "x");
+      table.add_row(std::move(cells));
+    }
+  }
+  std::fputs(table.to_text().c_str(), stdout);
+  std::printf(
+      "\nExpectation: placement barely matters on the non-blocking fat-tree,"
+      "\nmatters a lot on torus and hybrids for rank-local traffic\n"
+      "(nearneighbors, nbodies), and not much for unstructured traffic.\n");
+  return 0;
+}

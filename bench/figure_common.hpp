@@ -1,0 +1,89 @@
+// Shared driver for the Figure 4 / Figure 5 benches: runs the simulation
+// sweep over the paper's topology matrix for a set of workloads and prints
+// one normalised-time panel per workload (the tabular equivalent of the
+// paper's bar groups; values are normalised to the reference fat-tree).
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+
+namespace nestflow::benchtool {
+
+struct FigureSpec {
+  std::string figure_name;                  // "Figure 4 (heavy workloads)"
+  std::vector<std::string> workloads;       // panel order
+  /// Workloads whose flow count grows quadratically run at a reduced
+  /// machine size; 0 means "use --nodes".
+  std::map<std::string, std::uint64_t> node_override;
+};
+
+inline int run_figure(const FigureSpec& spec, int argc, const char* const* argv) {
+  CliParser cli("figure_bench",
+                spec.figure_name +
+                    ": normalised execution time over the topology matrix");
+  cli.add_option("nodes", "machine size in QFDBs (power of two)", "1024");
+  cli.add_option("seed", "workload seed", "42");
+  cli.add_option("threads", "worker threads (0 = hardware)", "0");
+  cli.add_option("quantum",
+                 "relative rate quantisation (speed/accuracy trade-off)",
+                 "0.01");
+  cli.add_option("latency", "per-hop router latency in seconds", "1e-6");
+  cli.add_option("workloads", "comma-separated subset of panels to run", "");
+  cli.add_option("csv", "write per-cell results to this CSV path", "");
+  cli.add_flag("verbose", "log every finished simulation cell");
+  if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+
+  std::vector<std::string> selected = spec.workloads;
+  if (!cli.get_string("workloads").empty()) {
+    selected = cli.get_string_list("workloads");
+  }
+
+  // Group workloads by effective machine size so each group is one sweep.
+  std::map<std::uint64_t, std::vector<std::string>> by_nodes;
+  for (const auto& name : selected) {
+    const auto it = spec.node_override.find(name);
+    const std::uint64_t nodes = it != spec.node_override.end() && it->second
+                                    ? std::min<std::uint64_t>(
+                                          it->second, cli.get_uint("nodes"))
+                                    : cli.get_uint("nodes");
+    by_nodes[nodes].push_back(name);
+  }
+
+  std::printf("== %s ==\n", spec.figure_name.c_str());
+  std::vector<SimulationCell> all_cells;
+  for (const auto& [nodes, workloads] : by_nodes) {
+    SimulationSweepConfig config;
+    config.num_nodes = nodes;
+    config.workloads = workloads;
+    config.seed = cli.get_uint("seed");
+    config.threads = static_cast<std::uint32_t>(cli.get_uint("threads"));
+    config.engine.rate_quantum_rel = cli.get_double("quantum");
+    config.engine.completion_batch_rel = 1e-3;
+    config.engine.hop_latency_seconds = cli.get_double("latency");
+    config.verbose = cli.get_bool("verbose");
+    auto cells = run_simulation_sweep(config);
+    for (auto& cell : cells) all_cells.push_back(std::move(cell));
+
+    for (const auto& workload : workloads) {
+      std::printf("\n-- %s (N = %llu, normalised to Fattree = 1.0) --\n",
+                  workload.c_str(), static_cast<unsigned long long>(nodes));
+      const auto panel = format_figure_panel(all_cells, workload);
+      std::fputs(panel.to_text().c_str(), stdout);
+    }
+  }
+
+  const auto csv = cli.get_string("csv");
+  if (!csv.empty()) {
+    format_cells_csv(all_cells).save_csv(csv);
+    std::printf("\nwrote %s\n", csv.c_str());
+  }
+  return 0;
+}
+
+}  // namespace nestflow::benchtool

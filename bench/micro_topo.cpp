@@ -1,0 +1,71 @@
+// google-benchmark microbenchmarks for topology construction, routing
+// throughput and BFS sweeps.
+#include <benchmark/benchmark.h>
+
+#include "graph/bfs.hpp"
+#include "topo/factory.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace nestflow;
+
+void BM_BuildTorus(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_reference_torus(nodes)->num_endpoints());
+  }
+}
+BENCHMARK(BM_BuildTorus)->Arg(4096)->Arg(32768);
+
+void BM_BuildNested(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        make_nested(nodes, 4, 2, UpperTierKind::kGhc)->num_endpoints());
+  }
+}
+BENCHMARK(BM_BuildNested)->Arg(4096)->Arg(32768);
+
+void BM_RouteThroughput(benchmark::State& state) {
+  const auto topology = make_topology("nesttree:4096,4,2");
+  Prng prng(3);
+  Path path;
+  const auto n = topology->num_endpoints();
+  for (auto _ : state) {
+    const auto s = static_cast<std::uint32_t>(prng.next_below(n));
+    const auto d = static_cast<std::uint32_t>(prng.next_below(n));
+    topology->route(s, d, path);
+    benchmark::DoNotOptimize(path.hops());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouteThroughput);
+
+void BM_RouteDistanceClosedForm(benchmark::State& state) {
+  const auto topology = make_topology("nestghc:4096,4,2");
+  Prng prng(3);
+  const auto n = topology->num_endpoints();
+  for (auto _ : state) {
+    const auto s = static_cast<std::uint32_t>(prng.next_below(n));
+    const auto d = static_cast<std::uint32_t>(prng.next_below(n));
+    benchmark::DoNotOptimize(topology->route_distance(s, d));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouteDistanceClosedForm);
+
+void BM_BfsSweep(benchmark::State& state) {
+  const auto topology = make_reference_torus(
+      static_cast<std::uint64_t>(state.range(0)));
+  BfsScratch scratch;
+  std::uint32_t source = 0;
+  for (auto _ : state) {
+    scratch.run(topology->graph(), source);
+    benchmark::DoNotOptimize(scratch.eccentricity());
+    source = (source + 17) % topology->num_endpoints();
+  }
+}
+BENCHMARK(BM_BfsSweep)->Arg(4096)->Arg(32768);
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Topology explorer: build any topology from a spec string and inspect it —
+// component census, validation, distance profile, per-class cable counts,
+// cost/power overhead versus a torus-only deployment, and (optionally) a
+// sample route between two endpoints.
+//
+// Examples:
+//   topology_explorer --spec nestghc:4096,4,2
+//   topology_explorer --spec torus:16x16x16 --route 0:4095
+//   topology_explorer --spec fattree:32,32,4 --pairs 200000
+#include <cstdio>
+
+#include "core/cost_model.hpp"
+#include "graph/distance_metrics.hpp"
+#include "graph/validation.hpp"
+#include "topo/census.hpp"
+#include "topo/factory.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nestflow;
+  CliParser cli("topology_explorer", "inspect any nestflow topology");
+  cli.add_option("spec", "topology spec (see topo/factory.hpp)",
+                 "nestghc:4096,4,2");
+  cli.add_option("pairs", "sampled pairs for the distance profile", "100000");
+  cli.add_option("seed", "sampling seed", "42");
+  cli.add_option("route", "print the route between 'src:dst'", "");
+  if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+
+  const auto topology = make_topology(cli.get_string("spec"));
+  std::printf("%s\n", topology->name().c_str());
+
+  const auto report = validate_graph(topology->graph());
+  std::printf("wiring      : %s\n",
+              report.ok() ? "valid" : report.to_string().c_str());
+
+  const auto census = take_census(topology->graph());
+  std::printf("census      : %s\n", census.to_string().c_str());
+
+  const auto overhead =
+      estimate_overhead(topology->num_endpoints(), census.switches);
+  std::printf("overheads   : cost +%s, power +%s vs torus-only\n",
+              format_percent(overhead.cost_increase, 2).c_str(),
+              format_percent(overhead.power_increase, 2).c_str());
+
+  const auto route_len = [&](std::uint32_t s, std::uint32_t d) {
+    return topology->route_distance(s, d);
+  };
+  const auto distances = sampled_routed_report(
+      topology->num_endpoints(), route_len, cli.get_uint("pairs"),
+      cli.get_uint("seed"), topology->adversarial_pairs());
+  std::printf("distances   : average %.2f hops, diameter %u (%s)\n",
+              distances.average, distances.diameter,
+              distances.exact ? "exact" : "sampled");
+  std::printf("hop profile :");
+  for (std::size_t h = 0; h <= distances.histogram.max_value(); ++h) {
+    if (distances.histogram.bin(h) == 0) continue;
+    std::printf(" %zu:%0.1f%%", h,
+                100.0 * static_cast<double>(distances.histogram.bin(h)) /
+                    static_cast<double>(distances.histogram.total()));
+  }
+  std::printf("\n");
+
+  const auto route_spec = cli.get_string("route");
+  if (!route_spec.empty()) {
+    const auto colon = route_spec.find(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--route expects 'src:dst'\n");
+      return 2;
+    }
+    const auto src = static_cast<std::uint32_t>(
+        std::stoul(route_spec.substr(0, colon)));
+    const auto dst = static_cast<std::uint32_t>(
+        std::stoul(route_spec.substr(colon + 1)));
+    Path path;
+    topology->route(src, dst, path);
+    std::printf("route %u -> %u (%u hops):\n  %u", src, dst, path.hops(), src);
+    for (const LinkId l : path.links) {
+      const auto& link = topology->graph().link(l);
+      std::printf(" -[%s]-> %u", std::string(to_string(link.link_class)).c_str(),
+                  link.dst);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Workload sweep: compare a set of topologies on one workload — the
+// one-command version of a figure panel, for interactive exploration.
+//
+// Examples:
+//   workload_sweep --workload allreduce --nodes 1024
+//   workload_sweep --workload bisection --topologies torus,fattree,nestghc-t2u4
+//   workload_sweep --workload sweep3d --latency 1e-6
+#include <cstdio>
+
+#include "flowsim/engine.hpp"
+#include "flowsim/metrics.hpp"
+#include "topo/factory.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "workloads/factory.hpp"
+
+namespace {
+
+using namespace nestflow;
+
+/// Resolves the sweep's shorthand names: "torus", "fattree", or
+/// "nesttree-tXuY" / "nestghc-tXuY".
+std::unique_ptr<Topology> resolve(const std::string& key, std::uint64_t nodes) {
+  if (key == "torus") return make_reference_torus(nodes);
+  if (key == "fattree") return make_reference_fattree(nodes);
+  const bool tree = key.starts_with("nesttree-t");
+  const bool ghc = key.starts_with("nestghc-t");
+  if (tree || ghc) {
+    const auto params = key.substr(key.find("-t") + 2);  // "XuY"
+    const auto upos = params.find('u');
+    if (upos != std::string::npos) {
+      const auto t = static_cast<std::uint32_t>(
+          std::stoul(params.substr(0, upos)));
+      const auto u = static_cast<std::uint32_t>(
+          std::stoul(params.substr(upos + 1)));
+      return make_nested(nodes, t, u,
+                         tree ? UpperTierKind::kFattree : UpperTierKind::kGhc);
+    }
+  }
+  throw std::invalid_argument("unknown topology shorthand: " + key);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("workload_sweep", "compare topologies on one workload");
+  cli.add_option("workload", "workload name", "allreduce");
+  cli.add_option("nodes", "machine size (power of two)", "512");
+  cli.add_option("topologies", "comma-separated shorthands",
+                 "torus,fattree,nesttree-t2u4,nestghc-t2u4,nestghc-t4u8");
+  cli.add_option("seed", "workload seed", "42");
+  cli.add_option("quantum", "relative rate quantisation", "0.01");
+  cli.add_option("latency", "per-hop latency in seconds", "5e-7");
+  if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+
+  const auto nodes = cli.get_uint("nodes");
+  const auto workload = make_workload(cli.get_string("workload"));
+  WorkloadContext context;
+  context.num_tasks = static_cast<std::uint32_t>(nodes);
+  context.seed = cli.get_uint("seed");
+  const auto program = workload->generate(context);
+  std::printf("workload %s: %u flows, %s total\n\n", workload->name().c_str(),
+              program.num_data_flows(),
+              format_bytes(program.total_bytes()).c_str());
+
+  EngineOptions options;
+  options.rate_quantum_rel = cli.get_double("quantum");
+  options.hop_latency_seconds = cli.get_double("latency");
+
+  Table table({"topology", "makespan", "vs best", "bottleneck util",
+               "avg active", "events"});
+  struct Row {
+    std::string name;
+    SimResult result;
+  };
+  std::vector<Row> rows;
+  double best = 0.0;
+  for (const auto& key : cli.get_string_list("topologies")) {
+    const auto topology = resolve(key, nodes);
+    FlowEngine engine(*topology, options);
+    Row row{topology->name(), engine.run(program)};
+    best = best == 0.0 ? row.result.makespan
+                       : std::min(best, row.result.makespan);
+    rows.push_back(std::move(row));
+  }
+  for (const auto& row : rows) {
+    table.add_row({row.name, format_time(row.result.makespan),
+                   format_fixed(row.result.makespan / best, 2) + "x",
+                   format_percent(row.result.max_link_utilization, 1),
+                   format_fixed(row.result.avg_active_flows, 0),
+                   std::to_string(row.result.events)});
+  }
+  std::fputs(table.to_text().c_str(), stdout);
+  return 0;
+}

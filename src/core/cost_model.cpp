@@ -1,0 +1,23 @@
+#include "core/cost_model.hpp"
+
+#include <stdexcept>
+
+namespace nestflow {
+
+OverheadEstimate estimate_overhead(std::uint64_t num_qfdbs,
+                                   std::uint64_t num_switches,
+                                   const CostModel& model) {
+  if (num_qfdbs == 0) {
+    throw std::invalid_argument("estimate_overhead: zero QFDBs");
+  }
+  OverheadEstimate estimate;
+  estimate.num_switches = num_switches;
+  const auto n = static_cast<double>(num_qfdbs);
+  estimate.cost_increase =
+      static_cast<double>(num_switches) * model.switch_cost_ratio / n;
+  estimate.power_increase =
+      static_cast<double>(num_switches) * model.switch_power_ratio / n;
+  return estimate;
+}
+
+}  // namespace nestflow

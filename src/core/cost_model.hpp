@@ -1,0 +1,39 @@
+// Cost and power overhead model (Table 2 of the paper).
+//
+// The paper reports, for every hybrid configuration, the number of extra
+// switches needed for the upper tier and "back-of-the-envelope" relative
+// cost/power overheads versus a torus-only system. Back-solving the
+// published numbers at full scale (N = 131,072 QFDBs) pins the model down
+// exactly:
+//
+//   cost_increase  = num_switches * (switch_cost / qfdb_cost)  / N
+//   power_increase = num_switches * (switch_power / qfdb_power) / N
+//
+// with switch_cost = 0.75 qfdb_cost and switch_power = 0.25 qfdb_power:
+// e.g. 2048 switches -> 2048*0.75/131072 = 1.17% cost, 0.39% power, and
+// 9216 switches -> 5.27% / 1.76% — every Table 2 entry reproduces.
+#pragma once
+
+#include <cstdint>
+
+namespace nestflow {
+
+struct CostModel {
+  /// Switch cost relative to one QFDB.
+  double switch_cost_ratio = 0.75;
+  /// Switch power relative to one QFDB.
+  double switch_power_ratio = 0.25;
+};
+
+struct OverheadEstimate {
+  std::uint64_t num_switches = 0;
+  /// Fractional increases over the torus-only baseline (0.0117 = 1.17%).
+  double cost_increase = 0.0;
+  double power_increase = 0.0;
+};
+
+[[nodiscard]] OverheadEstimate estimate_overhead(std::uint64_t num_qfdbs,
+                                                 std::uint64_t num_switches,
+                                                 const CostModel& model = {});
+
+}  // namespace nestflow

@@ -1,0 +1,36 @@
+#include "core/energy_model.hpp"
+
+#include <stdexcept>
+
+namespace nestflow {
+
+EnergyEstimate estimate_energy(const TopologyCensus& census,
+                               const SimResult& result,
+                               const EnergyModel& model) {
+  if (result.makespan <= 0.0) {
+    throw std::invalid_argument("estimate_energy: result has no makespan");
+  }
+  EnergyEstimate estimate;
+
+  const auto bytes = [&result](LinkClass c) {
+    return result.bytes_by_class[static_cast<std::size_t>(c)];
+  };
+  estimate.dynamic_joules =
+      model.nic_j_per_byte *
+          (bytes(LinkClass::kInjection) + bytes(LinkClass::kConsumption)) +
+      model.link_j_per_byte *
+          (bytes(LinkClass::kTorus) + bytes(LinkClass::kUplink) +
+           bytes(LinkClass::kUpper));
+
+  const double static_watts =
+      static_cast<double>(census.endpoints) * model.qfdb_w +
+      static_cast<double>(census.switches) * model.switch_w +
+      static_cast<double>(census.total_cables()) * model.cable_w;
+  estimate.static_joules = static_watts * result.makespan;
+
+  estimate.average_watts = estimate.total_joules() / result.makespan;
+  estimate.energy_delay = estimate.total_joules() * result.makespan;
+  return estimate;
+}
+
+}  // namespace nestflow

@@ -1,0 +1,53 @@
+// Energy estimation — the paper's §6 future work ("a revamp of our
+// simulation tools so to be able to perform energy estimation at the scale
+// we are interested in").
+//
+// The model has two parts:
+//  * dynamic energy — per byte actually moved across each link class
+//    (transceiver + SerDes + switching energy per traversal). The engine's
+//    per-class byte counters make this a dot product.
+//  * static energy — idle power of the compute boards, the upper-tier
+//    switches and the powered transceivers, integrated over the makespan.
+//
+// Defaults are order-of-magnitude figures for 10G copper/optical links and
+// Zynq Ultrascale+ boards (~12 pJ/bit link traversal, ~30 W per switch,
+// ~120 W per QFDB); they are parameters, not claims.
+#pragma once
+
+#include "core/cost_model.hpp"
+#include "flowsim/engine.hpp"
+#include "topo/census.hpp"
+
+namespace nestflow {
+
+struct EnergyModel {
+  /// Dynamic energy per byte crossing a transit link (J/B).
+  double link_j_per_byte = 100e-12;
+  /// Dynamic energy per byte through an endpoint NIC (J/B).
+  double nic_j_per_byte = 150e-12;
+  /// Static power draws (W).
+  double qfdb_w = 120.0;
+  double switch_w = 30.0;
+  /// Per powered cable (both directions; transceiver pair).
+  double cable_w = 1.0;
+};
+
+struct EnergyEstimate {
+  double dynamic_joules = 0.0;
+  double static_joules = 0.0;
+  [[nodiscard]] double total_joules() const noexcept {
+    return dynamic_joules + static_joules;
+  }
+  /// Mean system power over the run (W).
+  double average_watts = 0.0;
+  /// Energy-delay product (J*s) — the usual efficiency figure of merit.
+  double energy_delay = 0.0;
+};
+
+/// Combines a component census with a finished simulation's byte counters.
+/// Throws std::invalid_argument if the result has no makespan (nothing ran).
+[[nodiscard]] EnergyEstimate estimate_energy(const TopologyCensus& census,
+                                             const SimResult& result,
+                                             const EnergyModel& model = {});
+
+}  // namespace nestflow

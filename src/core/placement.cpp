@@ -1,0 +1,102 @@
+#include "core/placement.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "topo/nested.hpp"
+#include "workloads/workload.hpp"  // linear/random mapping helpers
+
+namespace nestflow {
+
+std::string_view to_string(PlacementPolicy policy) noexcept {
+  switch (policy) {
+    case PlacementPolicy::kLinear: return "linear";
+    case PlacementPolicy::kRandom: return "random";
+    case PlacementPolicy::kBlocked: return "blocked";
+    case PlacementPolicy::kRoundRobin: return "round-robin";
+  }
+  return "?";
+}
+
+PlacementPolicy parse_placement_policy(std::string_view name) {
+  if (name == "linear") return PlacementPolicy::kLinear;
+  if (name == "random") return PlacementPolicy::kRandom;
+  if (name == "blocked") return PlacementPolicy::kBlocked;
+  if (name == "round-robin") return PlacementPolicy::kRoundRobin;
+  throw std::invalid_argument("unknown placement policy: " +
+                              std::string(name));
+}
+
+namespace {
+
+/// Endpoints grouped by subtorus id, subtorus-major.
+std::vector<std::uint32_t> endpoints_by_subtorus(
+    const NestedTopology& nested) {
+  const std::uint32_t n = nested.num_endpoints();
+  // Counting sort by subtorus id preserves endpoint order within each.
+  std::vector<std::uint32_t> counts(nested.num_subtori() + 1, 0);
+  for (std::uint32_t e = 0; e < n; ++e) ++counts[nested.subtorus_of(e) + 1];
+  std::partial_sum(counts.begin(), counts.end(), counts.begin());
+  std::vector<std::uint32_t> ordered(n);
+  for (std::uint32_t e = 0; e < n; ++e) {
+    ordered[counts[nested.subtorus_of(e)]++] = e;
+  }
+  return ordered;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> make_placement(PlacementPolicy policy,
+                                          std::uint32_t num_tasks,
+                                          const Topology& topology,
+                                          std::uint64_t seed) {
+  const std::uint32_t n = topology.num_endpoints();
+  if (num_tasks > n) {
+    throw std::invalid_argument("make_placement: more tasks than endpoints");
+  }
+  const auto* nested = dynamic_cast<const NestedTopology*>(&topology);
+
+  switch (policy) {
+    case PlacementPolicy::kLinear:
+      return linear_task_mapping(num_tasks, n);
+    case PlacementPolicy::kRandom:
+      return random_task_mapping(num_tasks, n, seed);
+    case PlacementPolicy::kBlocked: {
+      if (nested == nullptr) return linear_task_mapping(num_tasks, n);
+      auto ordered = endpoints_by_subtorus(*nested);
+      ordered.resize(num_tasks);
+      return ordered;
+    }
+    case PlacementPolicy::kRoundRobin: {
+      if (nested == nullptr) return linear_task_mapping(num_tasks, n);
+      const auto ordered = endpoints_by_subtorus(*nested);
+      const std::uint32_t subtori = nested->num_subtori();
+      const std::uint32_t per_subtorus = n / subtori;
+      std::vector<std::uint32_t> placement(num_tasks);
+      for (std::uint32_t r = 0; r < num_tasks; ++r) {
+        const std::uint32_t subtorus = r % subtori;
+        const std::uint32_t slot = r / subtori;
+        placement[r] = ordered[subtorus * per_subtorus + slot % per_subtorus];
+      }
+      // Round-robin revisits slots only when tasks exceed endpoints/subtori
+      // coverage; for num_tasks <= n the placement above is injective.
+      return placement;
+    }
+  }
+  throw std::logic_error("make_placement: unreachable");
+}
+
+double consecutive_locality(const std::vector<std::uint32_t>& placement,
+                            const Topology& topology) {
+  const auto* nested = dynamic_cast<const NestedTopology*>(&topology);
+  if (nested == nullptr || placement.size() < 2) return 0.0;
+  std::uint32_t same = 0;
+  for (std::size_t r = 0; r + 1 < placement.size(); ++r) {
+    same += nested->subtorus_of(placement[r]) ==
+            nested->subtorus_of(placement[r + 1]);
+  }
+  return static_cast<double>(same) /
+         static_cast<double>(placement.size() - 1);
+}
+
+}  // namespace nestflow

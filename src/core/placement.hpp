@@ -1,0 +1,44 @@
+// Task placement policies — the "allocation and mapping" leg of INRFlow's
+// scheduling model. A placement maps task rank -> endpoint; on the nested
+// topologies the policy decides how much communication stays inside a
+// subtorus, which is exactly the locality the paper's hybrids bank on.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace nestflow {
+
+enum class PlacementPolicy : std::uint8_t {
+  /// Rank r on endpoint r (global x-major coordinates).
+  kLinear,
+  /// Uniformly random injective placement.
+  kRandom,
+  /// Fill one subtorus completely before the next (best locality for
+  /// consecutive ranks). Falls back to kLinear on non-nested topologies.
+  kBlocked,
+  /// Deal ranks across subtori round-robin (worst locality). Falls back to
+  /// kLinear on non-nested topologies.
+  kRoundRobin,
+};
+
+[[nodiscard]] std::string_view to_string(PlacementPolicy policy) noexcept;
+/// Parses "linear" / "random" / "blocked" / "round-robin";
+/// throws std::invalid_argument otherwise.
+[[nodiscard]] PlacementPolicy parse_placement_policy(std::string_view name);
+
+/// Builds the rank -> endpoint map for `num_tasks` tasks (must not exceed
+/// the endpoint count). Deterministic in `seed` (used by kRandom only).
+[[nodiscard]] std::vector<std::uint32_t> make_placement(
+    PlacementPolicy policy, std::uint32_t num_tasks, const Topology& topology,
+    std::uint64_t seed = 0);
+
+/// Fraction of consecutive rank pairs (r, r+1) that land in the same
+/// subtorus — a direct locality metric; 0 for non-nested topologies.
+[[nodiscard]] double consecutive_locality(
+    const std::vector<std::uint32_t>& placement, const Topology& topology);
+
+}  // namespace nestflow

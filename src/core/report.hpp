@@ -1,0 +1,31 @@
+// Report formatting: turns experiment results into the same tabular shapes
+// the paper prints (Table 1, Table 2, and one table per figure panel).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/csv.hpp"
+
+namespace nestflow {
+
+/// Table 1 layout: one row per (t, u), NestGHC and NestTree columns for
+/// average distance and diameter; reference rows appended underneath.
+[[nodiscard]] Table format_distance_table(const std::vector<DistanceRow>& rows);
+
+/// Table 2 layout: switches / cost increase / power increase per (t, u)
+/// for both upper tiers; the reference fat-tree appended underneath.
+[[nodiscard]] Table format_overhead_table(const std::vector<OverheadRow>& rows);
+
+/// Figure panel layout for one workload: one row per (t, u) with the
+/// normalised execution times of NestGHC, NestTree, Fattree and Torus3D
+/// (the reference topologies repeat their value on every row, mirroring
+/// the horizontal lines in the paper's plots).
+[[nodiscard]] Table format_figure_panel(const std::vector<SimulationCell>& cells,
+                                        const std::string& workload);
+
+/// Raw cell dump (one row per simulation) for CSV export.
+[[nodiscard]] Table format_cells_csv(const std::vector<SimulationCell>& cells);
+
+}  // namespace nestflow

@@ -1,0 +1,14 @@
+#include "core/system_model.hpp"
+
+#include <sstream>
+
+namespace nestflow {
+
+std::string ExaNestSystem::to_string() const {
+  std::ostringstream out;
+  out << num_qfdbs << " QFDBs (" << num_mpsocs() << " MPSoCs, "
+      << num_blades() << " blades, ~" << num_cabinets() << " cabinets)";
+  return out.str();
+}
+
+}  // namespace nestflow

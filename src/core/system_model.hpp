@@ -1,0 +1,41 @@
+// ExaNeSt packaging model (§3 of the paper): how many physical components a
+// system of N QFDBs comprises. Used for inventory reporting alongside the
+// topology census.
+//
+// Packaging facts from the paper:
+//  * a QFDB carries 4 Zynq Ultrascale+ MPSoCs and 10x 10 Gb/s transceivers;
+//  * a blade holds 16 QFDBs in a fixed 4x2x2 mesh, with 6 links per QFDB
+//    used inside the blade and 4 exposed (1 reserved for 10G Ethernet to
+//    the outside world, leaving at most 3 for the upper tiers);
+//  * the full-scale study uses 131,072 QFDBs ("around 50 cabinets", i.e.
+//    ~2,621 QFDBs per cabinet).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nestflow {
+
+struct ExaNestSystem {
+  static constexpr std::uint32_t kMpsocsPerQfdb = 4;
+  static constexpr std::uint32_t kQfdbsPerBlade = 16;
+  static constexpr std::uint32_t kTransceiversPerQfdb = 10;
+  static constexpr std::uint32_t kMaxUplinksPerQfdb = 3;
+  /// Derived from "131,072 QFDBs is around 50 cabinets".
+  static constexpr std::uint32_t kQfdbsPerCabinet = 2622;
+
+  std::uint64_t num_qfdbs = 0;
+
+  [[nodiscard]] std::uint64_t num_mpsocs() const noexcept {
+    return num_qfdbs * kMpsocsPerQfdb;
+  }
+  [[nodiscard]] std::uint64_t num_blades() const noexcept {
+    return (num_qfdbs + kQfdbsPerBlade - 1) / kQfdbsPerBlade;
+  }
+  [[nodiscard]] std::uint64_t num_cabinets() const noexcept {
+    return (num_qfdbs + kQfdbsPerCabinet - 1) / kQfdbsPerCabinet;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace nestflow

@@ -1,0 +1,65 @@
+#include "flowsim/dag.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nestflow {
+
+DependencyDag::DependencyDag(const TrafficProgram& program) {
+  const std::uint32_t n = program.num_flows();
+  auto deps = program.dependencies();  // copy for sort+dedup
+  for (const auto& [before, after] : deps) {
+    if (before >= n || after >= n) {
+      throw std::invalid_argument("DependencyDag: edge references missing flow");
+    }
+  }
+  std::sort(deps.begin(), deps.end());
+  deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+
+  offsets_.assign(n + 1, 0);
+  for (const auto& [before, after] : deps) ++offsets_[before + 1];
+  for (std::uint32_t i = 0; i < n; ++i) offsets_[i + 1] += offsets_[i];
+  children_.resize(deps.size());
+  pending_parents_.assign(n, 0);
+  {
+    std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (const auto& [before, after] : deps) {
+      children_[cursor[before]++] = after;
+      ++pending_parents_[after];
+    }
+  }
+
+  roots_.clear();
+  for (FlowIndex f = 0; f < n; ++f) {
+    if (pending_parents_[f] == 0) roots_.push_back(f);
+  }
+
+  // Kahn's algorithm doubles as cycle detection and depth computation.
+  std::vector<std::uint32_t> remaining = pending_parents_;
+  std::vector<std::uint32_t> level(n, 0);
+  std::vector<FlowIndex> queue = roots_;
+  std::uint32_t processed = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const FlowIndex f = queue[head];
+    ++processed;
+    depth_ = std::max(depth_, level[f]);
+    for (const FlowIndex child : children(f)) {
+      level[child] = std::max(level[child], level[f] + 1);
+      if (--remaining[child] == 0) queue.push_back(child);
+    }
+  }
+  if (processed != n) {
+    throw std::invalid_argument("DependencyDag: dependency cycle detected (" +
+                                std::to_string(n - processed) +
+                                " flows unreachable)");
+  }
+}
+
+std::span<const FlowIndex> DependencyDag::children(FlowIndex f) const {
+  if (f >= num_flows()) {
+    throw std::out_of_range("DependencyDag::children: bad flow");
+  }
+  return {children_.data() + offsets_[f], offsets_[f + 1] - offsets_[f]};
+}
+
+}  // namespace nestflow

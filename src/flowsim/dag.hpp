@@ -1,0 +1,50 @@
+// Dependency DAG over a traffic program's flows: CSR children lists plus
+// initial pending-parent counts, with cycle detection at construction so a
+// malformed workload fails fast instead of deadlocking the engine.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "flowsim/flow.hpp"
+
+namespace nestflow {
+
+class DependencyDag {
+ public:
+  /// Throws std::invalid_argument if the dependency relation has a cycle.
+  /// Duplicate (before, after) edges are collapsed into one.
+  explicit DependencyDag(const TrafficProgram& program);
+
+  [[nodiscard]] std::uint32_t num_flows() const noexcept {
+    return static_cast<std::uint32_t>(pending_parents_.size());
+  }
+
+  /// Flows unblocked by the completion of `f`.
+  [[nodiscard]] std::span<const FlowIndex> children(FlowIndex f) const;
+
+  /// Parent count per flow (how many completions each flow waits for).
+  [[nodiscard]] const std::vector<std::uint32_t>& pending_parents()
+      const noexcept {
+    return pending_parents_;
+  }
+
+  /// Flows with no parents (runnable at t = 0).
+  [[nodiscard]] const std::vector<FlowIndex>& roots() const noexcept {
+    return roots_;
+  }
+
+  /// Length (in edges) of the longest dependency chain; 0 for a flat
+  /// program. Useful for diagnostics and critical-path bounds.
+  [[nodiscard]] std::uint32_t depth() const noexcept { return depth_; }
+
+ private:
+  std::vector<std::uint32_t> offsets_;
+  std::vector<FlowIndex> children_;
+  std::vector<std::uint32_t> pending_parents_;
+  std::vector<FlowIndex> roots_;
+  std::uint32_t depth_ = 0;
+};
+
+}  // namespace nestflow

@@ -1,0 +1,321 @@
+#include "flowsim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace nestflow {
+
+FlowEngine::FlowEngine(const Topology& topology, EngineOptions options)
+    : topology_(topology), options_(options) {
+  // Floor the batching window at a couple of ulps so the flow that defines
+  // dt always passes its own completion test despite rounding.
+  options_.completion_batch_rel =
+      std::max(options_.completion_batch_rel, 1e-12);
+
+  const Graph& graph = topology_.graph();
+  const auto num_links = graph.num_links();
+  link_capacity_.resize(num_links);
+  for (LinkId l = 0; l < num_links; ++l) {
+    link_capacity_[l] = graph.link(l).capacity_bps;
+  }
+  link_base_capacity_ = link_capacity_;
+  link_flows_.resize(num_links);
+  link_active_count_.assign(num_links, 0);
+  link_weight_sum_.assign(num_links, 0.0);
+  link_dead_count_.assign(num_links, 0);
+  link_in_used_.assign(num_links, 0);
+  link_bytes_.assign(num_links, 0.0);
+}
+
+void FlowEngine::set_capacity_factor(LinkId link, double factor) {
+  if (link >= link_capacity_.size()) {
+    throw std::out_of_range("set_capacity_factor: bad link");
+  }
+  if (factor <= 0.0 || factor > 1.0) {
+    throw std::invalid_argument(
+        "set_capacity_factor: factor must be in (0, 1]");
+  }
+  link_capacity_[link] = link_base_capacity_[link] * factor;
+}
+
+void FlowEngine::reset_capacity_factors() {
+  link_capacity_ = link_base_capacity_;
+}
+
+void FlowEngine::activate(FlowIndex f) {
+  const FlowSpec& spec = program_->flow(f);
+  const Graph& graph = topology_.graph();
+
+  route_scratch_.clear();
+  if (options_.adaptive_routing) {
+    topology_.route_adaptive(spec.src, spec.dst, route_scratch_,
+                             LinkLoads(link_active_count_, link_capacity_));
+  } else {
+    topology_.route(spec.src, spec.dst, route_scratch_);
+  }
+
+  // Full resource path: injection NIC, transit links, consumption NIC.
+  const auto len =
+      static_cast<std::uint32_t>(route_scratch_.links.size() + 2);
+  std::uint32_t offset;
+  if (len < free_paths_by_length_.size() &&
+      !free_paths_by_length_[len].empty()) {
+    offset = free_paths_by_length_[len].back();
+    free_paths_by_length_[len].pop_back();
+  } else {
+    offset = static_cast<std::uint32_t>(path_arena_.size());
+    path_arena_.resize(path_arena_.size() + len);
+  }
+  path_arena_[offset] = graph.injection_link(spec.src);
+  std::copy(route_scratch_.links.begin(), route_scratch_.links.end(),
+            path_arena_.begin() + offset + 1);
+  path_arena_[offset + len - 1] = graph.consumption_link(spec.dst);
+
+  path_offset_[f] = offset;
+  path_length_[f] = len;
+  state_[f] = FlowState::kActive;
+  remaining_[f] = spec.bytes;
+  // Pipeline-fill latency: one hop per transit link (the two NIC links are
+  // endpoint-internal).
+  latency_left_[f] = options_.hop_latency_seconds > 0.0
+                         ? options_.hop_latency_seconds * (len - 2)
+                         : 0.0;
+  active_flows_.push_back(f);
+
+  for (const LinkId l : path_view(f)) {
+    link_flows_[l].push_back(f);
+    link_weight_sum_[l] += spec.weight;
+    if (link_active_count_[l]++ == 0 && !link_in_used_[l]) {
+      link_in_used_[l] = 1;
+      used_links_.push_back(l);
+    }
+  }
+}
+
+void FlowEngine::complete(FlowIndex f, double now,
+                          std::vector<FlowIndex>& ready) {
+  state_[f] = FlowState::kDone;
+  // A completed flow delivered exactly its payload across every link of its
+  // path; accounting once here is equivalent to (and much cheaper than)
+  // accumulating rate*dt per event.
+  const double bytes = program_->flow(f).bytes;
+  const double weight = program_->flow(f).weight;
+  for (const LinkId l : path_view(f)) {
+    link_bytes_[l] += bytes;
+    --link_active_count_[l];
+    // Zero exactly when the link empties so weight dust never accumulates.
+    link_weight_sum_[l] =
+        link_active_count_[l] == 0 ? 0.0 : link_weight_sum_[l] - weight;
+    ++link_dead_count_[l];
+    if (link_dead_count_[l] > link_flows_[l].size() / 2 &&
+        link_dead_count_[l] > 8) {
+      compact_link(l);
+    }
+  }
+  // Recycle the path extent.
+  const auto len = path_length_[f];
+  if (len >= free_paths_by_length_.size()) {
+    free_paths_by_length_.resize(len + 1);
+  }
+  free_paths_by_length_[len].push_back(path_offset_[f]);
+
+  if (!flow_finish_times_scratch_.empty()) {
+    flow_finish_times_scratch_[f] = now;
+  }
+
+  for (const FlowIndex child : dag_scratch_->children(f)) {
+    if (--pending_parents_[child] == 0) ready.push_back(child);
+  }
+}
+
+void FlowEngine::compact_link(LinkId l) {
+  auto& list = link_flows_[l];
+  std::erase_if(list, [this](FlowIndex f) {
+    return state_[f] != FlowState::kActive;
+  });
+  link_dead_count_[l] = 0;
+}
+
+SimResult FlowEngine::run(const TrafficProgram& program) {
+  program.validate(topology_.num_endpoints());
+  const DependencyDag dag(program);
+  program_ = &program;
+  dag_scratch_ = &dag;
+
+  const std::uint32_t n = program.num_flows();
+  state_.assign(n, FlowState::kPending);
+  pending_parents_ = dag.pending_parents();
+  remaining_.assign(n, 0.0);
+  latency_left_.assign(n, 0.0);
+  rates_.assign(n, 0.0);
+  path_offset_.assign(n, 0);
+  path_length_.assign(n, 0);
+  path_arena_.clear();
+  free_paths_by_length_.clear();
+  active_flows_.clear();
+  used_links_.clear();
+  std::fill(link_bytes_.begin(), link_bytes_.end(), 0.0);
+  // Link occupancy must be clean from the previous run.
+  assert(std::all_of(link_active_count_.begin(), link_active_count_.end(),
+                     [](std::uint32_t c) { return c == 0; }));
+  std::fill(link_weight_sum_.begin(), link_weight_sum_.end(), 0.0);
+  for (auto& list : link_flows_) list.clear();
+  std::fill(link_dead_count_.begin(), link_dead_count_.end(), 0);
+  std::fill(link_in_used_.begin(), link_in_used_.end(), 0);
+  solver_.resize(link_capacity_.size(), n);
+  flow_finish_times_scratch_.clear();
+  if (options_.record_flow_times) {
+    flow_finish_times_scratch_.assign(n, 0.0);
+  }
+
+  SimResult result;
+  result.num_flows = program.num_data_flows();
+
+  std::vector<FlowIndex> ready = dag.roots();
+  double now = 0.0;
+  double weighted_active = 0.0;
+  const EngineContext ctx{this};
+
+  release_queue_.clear();
+  const auto release_order = [](const std::pair<double, FlowIndex>& a,
+                                const std::pair<double, FlowIndex>& b) {
+    return a.first > b.first;  // min-heap on release time
+  };
+
+  for (;;) {
+    // Activate everything runnable; sync flows complete instantly and may
+    // cascade more activations within the same pass. Flows whose release
+    // time lies in the future are parked in the release queue.
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      const FlowIndex f = ready[i];
+      const FlowSpec& spec = program.flow(f);
+      if (spec.release_seconds > now * (1.0 + 1e-12) &&
+          spec.release_seconds > 0.0) {
+        release_queue_.emplace_back(spec.release_seconds, f);
+        std::push_heap(release_queue_.begin(), release_queue_.end(),
+                       release_order);
+        continue;
+      }
+      if (spec.is_sync) {
+        state_[f] = FlowState::kDone;
+        if (!flow_finish_times_scratch_.empty()) {
+          flow_finish_times_scratch_[f] = now;
+        }
+        for (const FlowIndex child : dag.children(f)) {
+          if (--pending_parents_[child] == 0) ready.push_back(child);
+        }
+      } else {
+        activate(f);
+      }
+    }
+    ready.clear();
+
+    // The network is idle: jump straight to the next arrival.
+    if (active_flows_.empty() && !release_queue_.empty()) {
+      now = std::max(now, release_queue_.front().first);
+    }
+    // Re-admit everything due by `now`.
+    while (!release_queue_.empty() &&
+           release_queue_.front().first <= now * (1.0 + 1e-12)) {
+      ready.push_back(release_queue_.front().second);
+      std::pop_heap(release_queue_.begin(), release_queue_.end(),
+                    release_order);
+      release_queue_.pop_back();
+    }
+    if (!ready.empty()) continue;
+
+    if (active_flows_.empty()) break;
+
+    // Prune stale used-link entries so the solver only seeds live links.
+    std::erase_if(used_links_, [this](LinkId l) {
+      if (link_active_count_[l] > 0) return false;
+      link_in_used_[l] = 0;
+      return true;
+    });
+
+    result.solver_rounds += solver_.solve(ctx, used_links_,
+                                          link_weight_sum_, active_flows_,
+                                          rates_);
+    if (options_.rate_quantum_rel > 0.0) {
+      const double log_step = std::log1p(options_.rate_quantum_rel);
+      for (const FlowIndex f : active_flows_) {
+        const double r = rates_[f];
+        rates_[f] = std::exp(std::floor(std::log(r) / log_step) * log_step);
+      }
+    }
+
+    double dt = std::numeric_limits<double>::infinity();
+    for (const FlowIndex f : active_flows_) {
+      dt = std::min(dt, std::max(latency_left_[f],
+                                 remaining_[f] / rates_[f]));
+    }
+    // Never step past the next arrival: it changes the rate allocation.
+    if (!release_queue_.empty()) {
+      dt = std::min(dt, std::max(0.0, release_queue_.front().first - now));
+    }
+    if (!std::isfinite(dt) || dt < 0.0) {
+      throw std::logic_error("FlowEngine: non-finite event horizon");
+    }
+
+    ++result.events;
+    if (options_.max_events != 0 && result.events > options_.max_events) {
+      throw std::runtime_error("FlowEngine: max_events exceeded");
+    }
+
+    const double threshold = dt * (1.0 + options_.completion_batch_rel);
+    now += dt;
+    weighted_active += static_cast<double>(active_flows_.size()) * dt;
+    result.peak_active_flows = std::max(
+        result.peak_active_flows,
+        static_cast<std::uint32_t>(active_flows_.size()));
+
+    for (const FlowIndex f : active_flows_) {
+      // Pipeline fill overlaps the transfer: done when both have elapsed.
+      if (std::max(latency_left_[f], remaining_[f] / rates_[f]) <= threshold) {
+        remaining_[f] = 0.0;
+        latency_left_[f] = 0.0;
+        complete(f, now, ready);
+      } else {
+        latency_left_[f] = std::max(0.0, latency_left_[f] - dt);
+        remaining_[f] = std::max(0.0, remaining_[f] - rates_[f] * dt);
+      }
+    }
+    std::erase_if(active_flows_, [this](FlowIndex f) {
+      return state_[f] != FlowState::kActive;
+    });
+  }
+
+  for (FlowIndex f = 0; f < n; ++f) {
+    if (state_[f] != FlowState::kDone) {
+      throw std::logic_error("FlowEngine: flow never completed");
+    }
+  }
+
+  result.makespan = now;
+  result.total_bytes = program.total_bytes();
+  result.avg_active_flows = now > 0.0 ? weighted_active / now : 0.0;
+
+  const Graph& graph = topology_.graph();
+  for (LinkId l = 0; l < graph.num_links(); ++l) {
+    const auto cls = static_cast<std::size_t>(graph.link(l).link_class);
+    result.bytes_by_class[cls] += link_bytes_[l];
+    if (now > 0.0) {
+      result.max_link_utilization =
+          std::max(result.max_link_utilization,
+                   link_bytes_[l] / (link_capacity_[l] * now));
+    }
+  }
+  if (options_.record_flow_times) {
+    result.flow_finish_times = std::move(flow_finish_times_scratch_);
+    flow_finish_times_scratch_.clear();
+  }
+
+  program_ = nullptr;
+  dag_scratch_ = nullptr;
+  return result;
+}
+
+}  // namespace nestflow

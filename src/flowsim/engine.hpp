@@ -1,0 +1,164 @@
+// Event-driven flow-level simulation engine (the INRFlow-equivalent core).
+//
+// Executes a TrafficProgram over a Topology: ready flows are routed and
+// activated, rates are recomputed with max-min fairness whenever the active
+// set changes, and time advances to the earliest flow completion. Every
+// flow's path is NIC-injection + transit route + NIC-consumption, so
+// endpoint ports are contended resources (the Reduce hot-spot serialises on
+// the root's consumption link exactly as §5.2 of the paper describes).
+//
+// Near-simultaneous completions are batched within a small relative window:
+// symmetric workloads then complete in waves, which keeps the event count —
+// and hence the number of rate re-solves — low.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "flowsim/dag.hpp"
+#include "flowsim/flow.hpp"
+#include "flowsim/maxmin.hpp"
+#include "topo/topology.hpp"
+
+namespace nestflow {
+
+struct EngineOptions {
+  /// Completions within (1 + completion_batch_rel) of the earliest finish
+  /// are folded into one event. 0 disables batching (exact event order).
+  double completion_batch_rel = 1e-6;
+  /// When > 0, allocated rates are snapped DOWN onto a geometric grid of
+  /// spacing (1 + rate_quantum_rel). Flows with equal size and nearly-equal
+  /// contention then hold identical rates across events and complete in
+  /// waves, collapsing the event count of large symmetric phases (e.g.
+  /// all-to-all) by orders of magnitude. Rounding down never oversubscribes
+  /// a link; the makespan error is bounded by ~rate_quantum_rel.
+  /// 0 disables quantisation (exact max-min rates).
+  double rate_quantum_rel = 0.0;
+  /// Record per-flow finish times into SimResult::flow_finish_times.
+  bool record_flow_times = false;
+  /// Abort (std::runtime_error) after this many events; 0 = unlimited.
+  std::uint64_t max_events = 0;
+  /// Route flows with Topology::route_adaptive at activation time (the
+  /// flow-level analogue of ECMP/adaptive routing: fat-tree tiers pick the
+  /// least-loaded up-ports). Disable to force the fully deterministic
+  /// single-path routing function everywhere.
+  bool adaptive_routing = true;
+  /// Per-router-traversal latency: a flow crossing h transit links takes at
+  /// least h * hop_latency_seconds wall time (wormhole pipeline-fill, which
+  /// overlaps the transfer: completion = max(transfer time, h * latency)),
+  /// holding its bandwidth allocation throughout. This is what lets
+  /// short-path topologies (the torus on wavefront traffic) beat
+  /// longer-path ones when messages are small. 0 = pure bandwidth model.
+  double hop_latency_seconds = 0.0;
+};
+
+struct SimResult {
+  double makespan = 0.0;       // seconds until the last flow finishes
+  double total_bytes = 0.0;    // payload delivered
+  std::uint64_t num_flows = 0; // data flows executed
+  std::uint64_t events = 0;    // completion rounds
+  std::uint64_t solver_rounds = 0;  // bottleneck-freeze iterations in total
+  double max_link_utilization = 0.0;  // busiest link's bytes/(cap*makespan)
+  double avg_active_flows = 0.0;      // time-weighted mean active flow count
+  std::uint32_t peak_active_flows = 0;
+  /// Bytes carried per link class (injection/consumption/torus/uplink/upper).
+  std::array<double, 5> bytes_by_class{};
+  std::vector<double> flow_finish_times;  // when record_flow_times is set
+};
+
+class FlowEngine {
+ public:
+  explicit FlowEngine(const Topology& topology, EngineOptions options = {});
+
+  /// Runs the program to completion and returns aggregate metrics.
+  /// The engine may be reused for further runs (scratch state is recycled).
+  /// Throws std::invalid_argument for malformed programs (bad endpoints,
+  /// dependency cycles) and std::runtime_error if max_events is exceeded.
+  [[nodiscard]] SimResult run(const TrafficProgram& program);
+
+  /// Per-link delivered bytes from the most recent run (indexed by LinkId;
+  /// includes NIC links). Valid until the next run() call.
+  [[nodiscard]] const std::vector<double>& last_link_bytes() const noexcept {
+    return link_bytes_;
+  }
+
+  /// Degrades a link to `factor` of its nominal capacity (fault-injection
+  /// support — the paper's future work on fault tolerance). factor must be
+  /// in (0, 1]: routing is oblivious to faults, so a dead link (0) would
+  /// stall flows forever; model hard failures as severe degradation
+  /// instead. Applies to subsequent run() calls until reset.
+  void set_capacity_factor(LinkId link, double factor);
+  /// Restores every link to nominal capacity.
+  void reset_capacity_factors();
+
+ private:
+  enum class FlowState : std::uint8_t { kPending, kActive, kDone };
+
+  /// Solver context over the engine's structure-of-arrays state.
+  struct EngineContext {
+    const FlowEngine* engine;
+    [[nodiscard]] double capacity(LinkId l) const {
+      return engine->link_capacity_[l];
+    }
+    [[nodiscard]] std::span<const FlowIndex> link_flows(LinkId l) const {
+      return engine->link_flows_[l];
+    }
+    [[nodiscard]] bool flow_active(FlowIndex f) const {
+      return engine->state_[f] == FlowState::kActive;
+    }
+    [[nodiscard]] std::span<const LinkId> flow_path(FlowIndex f) const {
+      return engine->path_view(f);
+    }
+    [[nodiscard]] double flow_weight(FlowIndex f) const {
+      return engine->program_->flow(f).weight;
+    }
+  };
+  friend struct EngineContext;
+
+  void activate(FlowIndex f);
+  void complete(FlowIndex f, double now, std::vector<FlowIndex>& ready);
+  [[nodiscard]] std::span<const LinkId> path_view(FlowIndex f) const {
+    return {path_arena_.data() + path_offset_[f], path_length_[f]};
+  }
+  void compact_link(LinkId l);
+
+  const Topology& topology_;
+  EngineOptions options_;
+  const TrafficProgram* program_ = nullptr;
+  const DependencyDag* dag_scratch_ = nullptr;  // valid during run() only
+  std::vector<double> flow_finish_times_scratch_;
+
+  // Per-flow state (sized per run).
+  std::vector<FlowState> state_;
+  std::vector<std::uint32_t> pending_parents_;
+  std::vector<double> remaining_;
+  std::vector<double> latency_left_;  // pipeline-fill time still to elapse
+  std::vector<double> rates_;
+  std::vector<std::uint32_t> path_offset_;
+  std::vector<std::uint32_t> path_length_;
+
+  // Path storage: freed extents are recycled by exact length, so memory is
+  // bounded by peak concurrency rather than total flow count.
+  std::vector<LinkId> path_arena_;
+  std::vector<std::vector<std::uint32_t>> free_paths_by_length_;
+
+  // Per-link state (sized once per topology).
+  std::vector<double> link_capacity_;        // effective (after degradation)
+  std::vector<double> link_base_capacity_;
+  std::vector<std::vector<FlowIndex>> link_flows_;  // with lazy removal
+  std::vector<std::uint32_t> link_active_count_;
+  std::vector<double> link_weight_sum_;  // weighted occupancy for the solver
+  std::vector<std::uint32_t> link_dead_count_;
+  std::vector<LinkId> used_links_;  // links with active flows (lazily pruned)
+  std::vector<std::uint8_t> link_in_used_;
+  std::vector<double> link_bytes_;
+
+  std::vector<FlowIndex> active_flows_;
+  /// Dependency-free flows waiting for their release time, earliest first.
+  std::vector<std::pair<double, FlowIndex>> release_queue_;  // min-heap
+  FairShareSolver<EngineContext> solver_;
+  Path route_scratch_;
+};
+
+}  // namespace nestflow

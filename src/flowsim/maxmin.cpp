@@ -1,0 +1,84 @@
+#include "flowsim/maxmin.hpp"
+
+#include <stdexcept>
+
+namespace nestflow {
+
+namespace {
+
+/// Plain-vector context for the reference solver.
+struct ReferenceContext {
+  std::span<const double> capacities;
+  const std::vector<std::vector<LinkId>>* paths = nullptr;
+  const std::vector<std::vector<FlowIndex>>* flows_per_link = nullptr;
+  std::span<const double> weights;
+
+  [[nodiscard]] double capacity(LinkId l) const { return capacities[l]; }
+  [[nodiscard]] std::span<const FlowIndex> link_flows(LinkId l) const {
+    return (*flows_per_link)[l];
+  }
+  [[nodiscard]] bool flow_active(FlowIndex) const { return true; }
+  [[nodiscard]] std::span<const LinkId> flow_path(FlowIndex f) const {
+    return (*paths)[f];
+  }
+  [[nodiscard]] double flow_weight(FlowIndex f) const {
+    return weights.empty() ? 1.0 : weights[f];
+  }
+};
+
+}  // namespace
+
+std::vector<double> maxmin_fair_rates(
+    std::span<const double> link_capacities,
+    const std::vector<std::vector<LinkId>>& flow_paths) {
+  return maxmin_fair_rates(link_capacities, flow_paths, {});
+}
+
+std::vector<double> maxmin_fair_rates(
+    std::span<const double> link_capacities,
+    const std::vector<std::vector<LinkId>>& flow_paths,
+    std::span<const double> flow_weights) {
+  const auto num_links = link_capacities.size();
+  const auto num_flows = flow_paths.size();
+  if (!flow_weights.empty() && flow_weights.size() != num_flows) {
+    throw std::invalid_argument("maxmin_fair_rates: weight count mismatch");
+  }
+  for (const double w : flow_weights) {
+    if (!(w > 0.0)) {
+      throw std::invalid_argument("maxmin_fair_rates: weights must be > 0");
+    }
+  }
+
+  std::vector<std::vector<FlowIndex>> flows_per_link(num_links);
+  std::vector<double> weight_sums(num_links, 0.0);
+  std::vector<LinkId> used;
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    if (flow_paths[f].empty()) {
+      throw std::invalid_argument("maxmin_fair_rates: flow with empty path");
+    }
+    const double weight = flow_weights.empty() ? 1.0 : flow_weights[f];
+    for (const LinkId l : flow_paths[f]) {
+      if (l >= num_links) {
+        throw std::invalid_argument("maxmin_fair_rates: link out of range");
+      }
+      if (weight_sums[l] == 0.0) used.push_back(l);
+      weight_sums[l] += weight;
+      flows_per_link[l].push_back(static_cast<FlowIndex>(f));
+    }
+  }
+
+  std::vector<FlowIndex> active(num_flows);
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    active[f] = static_cast<FlowIndex>(f);
+  }
+
+  ReferenceContext ctx{link_capacities, &flow_paths, &flows_per_link,
+                       flow_weights};
+  FairShareSolver<ReferenceContext> solver;
+  solver.resize(num_links, num_flows);
+  std::vector<double> rates(num_flows, 0.0);
+  solver.solve(ctx, used, weight_sums, active, rates);
+  return rates;
+}
+
+}  // namespace nestflow

@@ -1,0 +1,160 @@
+// Max-min fair rate allocation (progressive filling / water-filling).
+//
+// Given a set of active flows, each pinned to a fixed path of capacitated
+// links, the max-min fair allocation repeatedly finds the most contended
+// link (smallest capacity-per-flow share), freezes every flow crossing it
+// at that share, removes the frozen bandwidth everywhere, and continues
+// until all flows are frozen. This is the bandwidth model of flow-level
+// simulators such as INRFlow: instantaneous fair sharing with no transport
+// dynamics.
+//
+// Key algorithmic fact exploited here: during progressive filling a link's
+// fair share (remaining capacity / unfrozen flow count) is monotonically
+// NON-DECREASING — freezing a flow at the global minimum share s removes s
+// capacity and one flow from each of its links, and (c - s)/(n - 1) >= c/n
+// whenever s <= c/n. The bottleneck heap can therefore use lazy
+// revalidation: pop a link, recompute its current share, and either freeze
+// (if still <= the next key, which lower-bounds every other current share)
+// or re-push. No heap updates are needed while subtracting frozen
+// bandwidth, which keeps a solve at O(P + U log U) instead of
+// O(P log U) heap traffic (P = total active path length, U = used links).
+//
+// The solver is a template over a context type so the one algorithm serves
+// both the event engine (structure-of-arrays, incremental link occupancy)
+// and a simple reference entry point used by tests:
+//
+//   struct Ctx {
+//     double capacity(LinkId) const;
+//     std::span<const FlowIndex> link_flows(LinkId) const;  // may contain
+//                                                           // stale entries
+//     bool flow_active(FlowIndex) const;
+//     std::span<const LinkId> flow_path(FlowIndex) const;
+//     double flow_weight(FlowIndex) const;  // > 0; 1.0 = plain fairness
+//   };
+//
+// Weighted max-min: on each bottleneck the remaining capacity is split in
+// proportion to weights (rate_f = weight_f * share, share = cap / sum of
+// weights). With all weights 1 this is classic max-min; weights model the
+// paper's future-work "bandwidth scheduling to give priority to critical
+// flows". The monotonicity argument survives weighting: freezing at the
+// global minimum share removes weight_f * share* <= cap_l * w_f / W_l from
+// link l, so (cap - w*share*)/(W - w) >= cap/W.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "flowsim/flow.hpp"
+
+namespace nestflow {
+
+template <typename Ctx>
+class FairShareSolver {
+ public:
+  /// Scratch arrays are sized on first use and reused across solves.
+  void resize(std::size_t num_links, std::size_t num_flows) {
+    cap_rem_.resize(num_links);
+    weight_sum_.resize(num_links);
+    frozen_.resize(num_flows);
+  }
+
+  /// Computes rates for every flow in `active_flows`. `used_links` must
+  /// cover every link on an active path; stale entries (weight 0) are
+  /// skipped. `link_weight_sum[l]` is the total weight of active flows
+  /// whose path crosses l. Rates are written into `rates` (indexed by
+  /// FlowIndex). Returns the number of bottleneck-freeze rounds performed.
+  std::uint64_t solve(const Ctx& ctx, std::span<const LinkId> used_links,
+                      std::span<const double> link_weight_sum,
+                      std::span<const FlowIndex> active_flows,
+                      std::span<double> rates) {
+    for (const FlowIndex f : active_flows) frozen_[f] = 0;
+
+    heap_.clear();
+    for (const LinkId l : used_links) {
+      const double weights = link_weight_sum[l];
+      if (weights <= 0.0) continue;
+      cap_rem_[l] = ctx.capacity(l);
+      weight_sum_[l] = weights;
+      heap_.push_back(Entry{cap_rem_[l] / weights, l});
+    }
+    std::make_heap(heap_.begin(), heap_.end());
+
+    std::uint64_t rounds = 0;
+    while (!heap_.empty()) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      const LinkId l = heap_.back().link;
+      heap_.pop_back();
+      // Fully frozen via other bottlenecks (floor absorbs FP dust).
+      if (weight_sum_[l] <= kWeightEpsilon) continue;
+      const double share = fair_share(l, ctx.capacity(l));
+      if (!heap_.empty() && share > heap_.front().share) {
+        // Stale key: the link's share grew past the next candidate's lower
+        // bound. Re-queue with the fresh value and look again.
+        heap_.push_back(Entry{share, l});
+        std::push_heap(heap_.begin(), heap_.end());
+        continue;
+      }
+      // share is <= every other link's current share: l is the bottleneck.
+      ++rounds;
+      for (const FlowIndex f : ctx.link_flows(l)) {
+        if (!ctx.flow_active(f) || frozen_[f]) continue;
+        frozen_[f] = 1;
+        const double weight = ctx.flow_weight(f);
+        rates[f] = share * weight;
+        for (const LinkId l2 : ctx.flow_path(f)) {
+          if (l2 == l) continue;
+          cap_rem_[l2] -= rates[f];
+          weight_sum_[l2] -= weight;  // shares only grow; keys stay valid
+        }
+      }
+      weight_sum_[l] = 0.0;
+    }
+    return rounds;
+  }
+
+ private:
+  struct Entry {
+    double share;
+    LinkId link;
+    /// Min-heap via std::*_heap (max-heap algorithms, inverted compare);
+    /// ties broken by link id for determinism.
+    bool operator<(const Entry& other) const noexcept {
+      if (share != other.share) return share > other.share;
+      return link > other.link;
+    }
+  };
+
+  /// Weight dust below this is treated as "no unfrozen flows left".
+  static constexpr double kWeightEpsilon = 1e-9;
+
+  /// Remaining per-unit-weight share of a link, floored at a tiny positive
+  /// fraction of its capacity: floating-point drift can push cap_rem_ a
+  /// hair negative, and a zero share would stall the event loop.
+  [[nodiscard]] double fair_share(LinkId l, double capacity) const noexcept {
+    return std::max(cap_rem_[l], capacity * 1e-12) / weight_sum_[l];
+  }
+
+  std::vector<double> cap_rem_;
+  std::vector<double> weight_sum_;
+  std::vector<std::uint8_t> frozen_;
+  std::vector<Entry> heap_;
+};
+
+/// Reference entry point: max-min rates for explicit paths over explicit
+/// capacities (all weights 1). Exercised directly by unit/property tests;
+/// the engine uses the same template with its incremental context.
+[[nodiscard]] std::vector<double> maxmin_fair_rates(
+    std::span<const double> link_capacities,
+    const std::vector<std::vector<LinkId>>& flow_paths);
+
+/// Weighted variant: rates on shared bottlenecks split proportionally to
+/// `flow_weights` (same size as flow_paths, all > 0).
+[[nodiscard]] std::vector<double> maxmin_fair_rates(
+    std::span<const double> link_capacities,
+    const std::vector<std::vector<LinkId>>& flow_paths,
+    std::span<const double> flow_weights);
+
+}  // namespace nestflow

@@ -1,0 +1,86 @@
+#include "flowsim/metrics.hpp"
+
+#include <algorithm>
+
+#include "flowsim/dag.hpp"
+
+namespace nestflow {
+
+StaticLoadReport static_load(const Topology& topology,
+                             const TrafficProgram& program) {
+  program.validate(topology.num_endpoints());
+  const Graph& graph = topology.graph();
+  std::vector<double> link_bytes(graph.num_links(), 0.0);
+
+  StaticLoadReport report;
+  RunningStats path_stats;
+  Path path;
+  for (const auto& spec : program.flows()) {
+    if (spec.is_sync) continue;
+    topology.route(spec.src, spec.dst, path);
+    report.total_bytes += spec.bytes;
+    path_stats.add(static_cast<double>(path.links.size()));
+    report.path_length_histogram.add(path.links.size());
+    link_bytes[graph.injection_link(spec.src)] += spec.bytes;
+    link_bytes[graph.consumption_link(spec.dst)] += spec.bytes;
+    for (const LinkId l : path.links) link_bytes[l] += spec.bytes;
+  }
+  report.mean_path_length = path_stats.mean();
+
+  RunningStats seconds_stats;
+  for (LinkId l = 0; l < graph.num_links(); ++l) {
+    if (link_bytes[l] <= 0.0) continue;
+    const double seconds = link_bytes[l] / graph.link(l).capacity_bps;
+    seconds_stats.add(seconds);
+    if (seconds > report.max_link_seconds) {
+      report.max_link_seconds = seconds;
+      report.max_link_bytes = link_bytes[l];
+    }
+  }
+  report.links_used = seconds_stats.count();
+  report.mean_link_seconds = seconds_stats.mean();
+  return report;
+}
+
+double critical_path_seconds(const Topology& topology,
+                             const TrafficProgram& program) {
+  program.validate(topology.num_endpoints());
+  const DependencyDag dag(program);
+  const Graph& graph = topology.graph();
+
+  // Solo time per flow: bytes over the slowest resource on its path
+  // (including the NIC links).
+  std::vector<double> solo(program.num_flows(), 0.0);
+  Path path;
+  for (FlowIndex f = 0; f < program.num_flows(); ++f) {
+    const auto& spec = program.flow(f);
+    if (spec.is_sync || spec.bytes <= 0.0) continue;
+    topology.route(spec.src, spec.dst, path);
+    double min_capacity =
+        std::min(graph.link(graph.injection_link(spec.src)).capacity_bps,
+                 graph.link(graph.consumption_link(spec.dst)).capacity_bps);
+    for (const LinkId l : path.links) {
+      min_capacity = std::min(min_capacity, graph.link(l).capacity_bps);
+    }
+    solo[f] = spec.bytes / min_capacity;
+  }
+
+  // Longest path in the DAG with node weights; flows in topological order
+  // (Kahn order reconstructed from pending counts).
+  std::vector<double> finish(program.num_flows(), 0.0);
+  std::vector<std::uint32_t> pending = dag.pending_parents();
+  std::vector<FlowIndex> queue = dag.roots();
+  double best = 0.0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const FlowIndex f = queue[head];
+    finish[f] += solo[f];
+    best = std::max(best, finish[f]);
+    for (const FlowIndex child : dag.children(f)) {
+      finish[child] = std::max(finish[child], finish[f]);
+      if (--pending[child] == 0) queue.push_back(child);
+    }
+  }
+  return best;
+}
+
+}  // namespace nestflow

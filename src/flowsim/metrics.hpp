@@ -1,0 +1,46 @@
+// Static (time-free) analyses of a traffic program on a topology.
+//
+// These are the classic INRFlow "static mode" measurements: route every
+// flow, accumulate per-link byte loads, and derive rigorous lower bounds on
+// the achievable makespan. The engine's dynamic results are validated
+// against these bounds in the test suite:
+//
+//   makespan >= max_link_seconds      (the busiest link must drain), and
+//   makespan >= critical_path_seconds (a dependency chain can't be beaten
+//                                      even at full solo bandwidth).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flowsim/flow.hpp"
+#include "topo/topology.hpp"
+#include "util/stats.hpp"
+
+namespace nestflow {
+
+struct StaticLoadReport {
+  double total_bytes = 0.0;
+  /// Max over links of (bytes routed through the link / its capacity):
+  /// a lower bound on any schedule's completion time.
+  double max_link_seconds = 0.0;
+  /// Bytes on the most loaded link.
+  double max_link_bytes = 0.0;
+  /// Mean over *used* links of bytes/capacity.
+  double mean_link_seconds = 0.0;
+  std::uint64_t links_used = 0;
+  /// Hop distribution over data flows (transit links only).
+  Histogram path_length_histogram{256};
+  double mean_path_length = 0.0;
+};
+
+/// Routes every data flow and accumulates link loads (NIC links included).
+[[nodiscard]] StaticLoadReport static_load(const Topology& topology,
+                                           const TrafficProgram& program);
+
+/// Longest dependency chain in solo-time: each flow weighted by
+/// bytes / (slowest link on its path), accumulated along DAG edges.
+[[nodiscard]] double critical_path_seconds(const Topology& topology,
+                                           const TrafficProgram& program);
+
+}  // namespace nestflow

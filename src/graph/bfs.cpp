@@ -1,0 +1,46 @@
+#include "graph/bfs.hpp"
+
+#include <algorithm>
+
+namespace nestflow {
+
+void BfsScratch::run(const Graph& graph, NodeId source) {
+  const auto n = graph.num_nodes();
+  distances_.assign(n, kUnreachable);
+  frontier_.clear();
+  next_frontier_.clear();
+
+  distances_[source] = 0;
+  frontier_.push_back(source);
+  eccentricity_ = 0;
+  farthest_ = source;
+  reached_ = 1;
+
+  std::uint32_t depth = 0;
+  while (!frontier_.empty()) {
+    ++depth;
+    next_frontier_.clear();
+    for (const NodeId u : frontier_) {
+      for (const LinkId l : graph.out_links(u)) {
+        const NodeId v = graph.link(l).dst;
+        if (distances_[v] != kUnreachable) continue;
+        distances_[v] = depth;
+        next_frontier_.push_back(v);
+      }
+    }
+    if (!next_frontier_.empty()) {
+      eccentricity_ = depth;
+      farthest_ = next_frontier_.front();
+      reached_ += static_cast<std::uint32_t>(next_frontier_.size());
+    }
+    std::swap(frontier_, next_frontier_);
+  }
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& graph, NodeId source) {
+  BfsScratch scratch;
+  scratch.run(graph, source);
+  return scratch.distances();
+}
+
+}  // namespace nestflow

@@ -1,0 +1,52 @@
+// Breadth-first search over transit links. Used by topological distance
+// metrics (Table 1) and by structural validation (connectivity).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace nestflow {
+
+inline constexpr std::uint32_t kUnreachable = 0xffffffffu;
+
+/// Reusable BFS scratch space: at full paper scale (~150k nodes) distance
+/// sweeps run many searches, so the frontier/visited arrays are recycled.
+class BfsScratch {
+ public:
+  /// Hop distances from `source` over all transit links.
+  /// distances()[v] == kUnreachable for unreachable v.
+  void run(const Graph& graph, NodeId source);
+
+  [[nodiscard]] const std::vector<std::uint32_t>& distances() const noexcept {
+    return distances_;
+  }
+
+  /// Largest finite distance from the last run's source (its eccentricity
+  /// within its component).
+  [[nodiscard]] std::uint32_t eccentricity() const noexcept {
+    return eccentricity_;
+  }
+
+  /// A node attaining eccentricity() (useful for double-sweep diameter
+  /// lower bounds); kInvalidNode before any run.
+  [[nodiscard]] NodeId farthest_node() const noexcept { return farthest_; }
+
+  /// Number of nodes reached (including the source).
+  [[nodiscard]] std::uint32_t reached() const noexcept { return reached_; }
+
+ private:
+  std::vector<std::uint32_t> distances_;
+  std::vector<NodeId> frontier_;
+  std::vector<NodeId> next_frontier_;
+  std::uint32_t eccentricity_ = 0;
+  NodeId farthest_ = kInvalidNode;
+  std::uint32_t reached_ = 0;
+};
+
+/// One-shot convenience wrapper.
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& graph,
+                                                       NodeId source);
+
+}  // namespace nestflow

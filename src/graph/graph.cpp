@@ -1,0 +1,132 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace nestflow {
+
+std::string_view to_string(LinkClass c) noexcept {
+  switch (c) {
+    case LinkClass::kInjection: return "injection";
+    case LinkClass::kConsumption: return "consumption";
+    case LinkClass::kTorus: return "torus";
+    case LinkClass::kUplink: return "uplink";
+    case LinkClass::kUpper: return "upper";
+  }
+  return "?";
+}
+
+std::span<const LinkId> Graph::out_links(NodeId n) const {
+  if (n >= num_nodes()) throw std::out_of_range("Graph::out_links: bad node");
+  const auto begin = adj_offsets_[n];
+  const auto end = adj_offsets_[n + 1];
+  return {adj_links_.data() + begin, end - begin};
+}
+
+LinkId Graph::find_link(NodeId n, NodeId m) const {
+  const auto out = out_links(n);
+  // adj is sorted by destination node id.
+  auto it = std::lower_bound(
+      out.begin(), out.end(), m,
+      [this](LinkId l, NodeId target) { return links_[l].dst < target; });
+  if (it != out.end() && links_[*it].dst == m) return *it;
+  return kInvalidLink;
+}
+
+LinkId Graph::injection_link(NodeId n) const {
+  assert(node_kind(n) == NodeKind::kEndpoint);
+  return injection_.at(n);
+}
+
+LinkId Graph::consumption_link(NodeId n) const {
+  assert(node_kind(n) == NodeKind::kEndpoint);
+  return consumption_.at(n);
+}
+
+NodeId GraphBuilder::add_node(NodeKind kind) {
+  kinds_.push_back(kind);
+  return static_cast<NodeId>(kinds_.size() - 1);
+}
+
+NodeId GraphBuilder::add_nodes(NodeKind kind, std::uint32_t count) {
+  const auto first = static_cast<NodeId>(kinds_.size());
+  kinds_.insert(kinds_.end(), count, kind);
+  return first;
+}
+
+LinkId GraphBuilder::add_link(NodeId src, NodeId dst, double capacity_bps,
+                              LinkClass cls) {
+  if (src >= kinds_.size() || dst >= kinds_.size()) {
+    throw std::out_of_range("GraphBuilder::add_link: node out of range");
+  }
+  if (capacity_bps <= 0.0) {
+    throw std::invalid_argument("GraphBuilder::add_link: capacity must be > 0");
+  }
+  links_.push_back(LinkRecord{src, dst, capacity_bps, cls, kInvalidLink});
+  return static_cast<LinkId>(links_.size() - 1);
+}
+
+LinkId GraphBuilder::add_duplex(NodeId a, NodeId b, double capacity_bps,
+                                LinkClass cls) {
+  const LinkId ab = add_link(a, b, capacity_bps, cls);
+  const LinkId ba = add_link(b, a, capacity_bps, cls);
+  links_[ab].reverse = ba;
+  links_[ba].reverse = ab;
+  return ab;
+}
+
+Graph GraphBuilder::build(double nic_capacity_bps) && {
+  if (nic_capacity_bps <= 0.0) {
+    throw std::invalid_argument("GraphBuilder::build: NIC capacity must be > 0");
+  }
+  Graph g;
+  g.node_kinds_ = std::move(kinds_);
+  g.links_ = std::move(links_);
+  g.num_transit_links_ = static_cast<std::uint32_t>(g.links_.size());
+
+  const auto n = g.num_nodes();
+  g.num_endpoints_ = 0;
+  for (const auto kind : g.node_kinds_) {
+    if (kind == NodeKind::kEndpoint) ++g.num_endpoints_;
+  }
+
+  // NIC links appended after all transit links.
+  g.injection_.assign(n, kInvalidLink);
+  g.consumption_.assign(n, kInvalidLink);
+  for (NodeId node = 0; node < n; ++node) {
+    if (g.node_kinds_[node] != NodeKind::kEndpoint) continue;
+    g.injection_[node] = static_cast<LinkId>(g.links_.size());
+    g.links_.push_back(LinkRecord{node, node, nic_capacity_bps,
+                                  LinkClass::kInjection, kInvalidLink});
+    g.consumption_[node] = static_cast<LinkId>(g.links_.size());
+    g.links_.push_back(LinkRecord{node, node, nic_capacity_bps,
+                                  LinkClass::kConsumption, kInvalidLink});
+  }
+
+  // CSR over transit links, sorted by destination for find_link().
+  std::vector<std::uint32_t> degree(n, 0);
+  for (std::uint32_t l = 0; l < g.num_transit_links_; ++l) {
+    ++degree[g.links_[l].src];
+  }
+  g.adj_offsets_.assign(n + 1, 0);
+  for (NodeId node = 0; node < n; ++node) {
+    g.adj_offsets_[node + 1] = g.adj_offsets_[node] + degree[node];
+  }
+  g.adj_links_.resize(g.num_transit_links_);
+  std::vector<std::uint32_t> cursor(g.adj_offsets_.begin(),
+                                    g.adj_offsets_.end() - 1);
+  for (std::uint32_t l = 0; l < g.num_transit_links_; ++l) {
+    g.adj_links_[cursor[g.links_[l].src]++] = l;
+  }
+  for (NodeId node = 0; node < n; ++node) {
+    auto* begin = g.adj_links_.data() + g.adj_offsets_[node];
+    auto* end = g.adj_links_.data() + g.adj_offsets_[node + 1];
+    std::sort(begin, end, [&g](LinkId a, LinkId b) {
+      return g.links_[a].dst < g.links_[b].dst;
+    });
+  }
+  return g;
+}
+
+}  // namespace nestflow

@@ -1,0 +1,140 @@
+// Typed, capacitated, directed multigraph: the substrate every topology is
+// built on and the resource model the flow engine charges against.
+//
+// Nodes are either endpoints (QFDBs — compute nodes that source/sink
+// traffic; in direct topologies they also route) or switches. Links are
+// directed with a capacity in bytes/second and a class tag used for
+// component census (Table 2) and for distance accounting (injection and
+// consumption links never count as hops).
+//
+// Every physical cable is represented as a pair of opposed directed links
+// (full duplex); GraphBuilder::add_duplex creates both and records the
+// pairing. Each endpoint additionally owns one injection and one consumption
+// link (self-loops in terms of node ids) so that NIC serialisation — e.g.
+// the Reduce hot-spot the paper analyses — is a first-class resource.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nestflow {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+inline constexpr LinkId kInvalidLink = 0xffffffffu;
+
+enum class NodeKind : std::uint8_t { kEndpoint, kSwitch };
+
+/// Role of a link in the physical system; used by the census (Table 2) and
+/// by distance metrics (kInjection/kConsumption are not hops).
+enum class LinkClass : std::uint8_t {
+  kInjection,    // endpoint NIC, traffic entering the network
+  kConsumption,  // endpoint NIC, traffic leaving the network
+  kTorus,        // lower-tier (sub)torus backplane link
+  kUplink,       // QFDB transceiver into the upper tier
+  kUpper,        // switch-to-switch link in the upper tier
+};
+
+[[nodiscard]] std::string_view to_string(LinkClass c) noexcept;
+
+struct LinkRecord {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  double capacity_bps = 0.0;  // bytes per second
+  LinkClass link_class = LinkClass::kTorus;
+  /// The opposed twin for duplex links, kInvalidLink for NIC self-links.
+  LinkId reverse = kInvalidLink;
+};
+
+class GraphBuilder;
+
+/// Immutable graph with CSR-style adjacency over *transit* links (injection
+/// and consumption links are kept separate: they are per-endpoint resources,
+/// not routable edges).
+class Graph {
+ public:
+  Graph() = default;
+
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept {
+    return static_cast<std::uint32_t>(node_kinds_.size());
+  }
+  [[nodiscard]] std::uint32_t num_links() const noexcept {
+    return static_cast<std::uint32_t>(links_.size());
+  }
+  [[nodiscard]] NodeKind node_kind(NodeId n) const { return node_kinds_.at(n); }
+  [[nodiscard]] const LinkRecord& link(LinkId l) const { return links_.at(l); }
+  [[nodiscard]] const std::vector<LinkRecord>& links() const noexcept {
+    return links_;
+  }
+
+  [[nodiscard]] std::uint32_t num_endpoints() const noexcept {
+    return num_endpoints_;
+  }
+  [[nodiscard]] std::uint32_t num_switches() const noexcept {
+    return num_nodes() - num_endpoints_;
+  }
+
+  /// Outgoing *transit* link ids of a node (sorted by destination node id).
+  [[nodiscard]] std::span<const LinkId> out_links(NodeId n) const;
+
+  /// Transit link n -> m, or kInvalidLink if absent. O(log degree).
+  [[nodiscard]] LinkId find_link(NodeId n, NodeId m) const;
+
+  /// NIC links of an endpoint. Precondition: node_kind(n) == kEndpoint.
+  [[nodiscard]] LinkId injection_link(NodeId n) const;
+  [[nodiscard]] LinkId consumption_link(NodeId n) const;
+
+  /// Number of transit links (excludes NIC links).
+  [[nodiscard]] std::uint32_t num_transit_links() const noexcept {
+    return num_transit_links_;
+  }
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<NodeKind> node_kinds_;
+  std::vector<LinkRecord> links_;  // transit links first, then NIC links
+  std::uint32_t num_transit_links_ = 0;
+  std::uint32_t num_endpoints_ = 0;
+  // CSR over transit links.
+  std::vector<std::uint32_t> adj_offsets_;
+  std::vector<LinkId> adj_links_;
+  // Per-node NIC links; kInvalidLink for switches.
+  std::vector<LinkId> injection_;
+  std::vector<LinkId> consumption_;
+};
+
+/// Mutable construction interface. Typical topology construction:
+///   add all nodes, add duplex transit links, then build(nic_capacity).
+class GraphBuilder {
+ public:
+  /// Returns the id of the new node. Endpoint NIC links are materialised at
+  /// build() time with the capacity passed there.
+  NodeId add_node(NodeKind kind);
+  /// Adds `count` nodes of the same kind, returning the first id.
+  NodeId add_nodes(NodeKind kind, std::uint32_t count);
+
+  /// Adds a single directed transit link; returns its id.
+  LinkId add_link(NodeId src, NodeId dst, double capacity_bps, LinkClass cls);
+  /// Adds a full-duplex cable (two opposed links, cross-referenced).
+  /// Returns the id of the src->dst direction.
+  LinkId add_duplex(NodeId a, NodeId b, double capacity_bps, LinkClass cls);
+
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept {
+    return static_cast<std::uint32_t>(kinds_.size());
+  }
+
+  /// Finalises into an immutable Graph. Every endpoint receives injection
+  /// and consumption links of `nic_capacity_bps`. The builder is consumed.
+  [[nodiscard]] Graph build(double nic_capacity_bps) &&;
+
+ private:
+  std::vector<NodeKind> kinds_;
+  std::vector<LinkRecord> links_;
+};
+
+}  // namespace nestflow

@@ -1,0 +1,102 @@
+#include "graph/validation.hpp"
+
+#include <sstream>
+
+#include "graph/bfs.hpp"
+
+namespace nestflow {
+
+std::string ValidationReport::to_string() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i) out << '\n';
+    out << violations[i];
+  }
+  return out.str();
+}
+
+ValidationReport validate_graph(const Graph& graph) {
+  ValidationReport report;
+  const auto fail = [&report](const std::string& msg) {
+    if (report.violations.size() < 32) report.violations.push_back(msg);
+  };
+
+  const auto n = graph.num_nodes();
+  if (n == 0) {
+    fail("graph has no nodes");
+    return report;
+  }
+
+  // Per-link checks over the full link table (transit + NIC).
+  for (LinkId l = 0; l < graph.num_links(); ++l) {
+    const auto& link = graph.link(l);
+    if (link.src >= n || link.dst >= n) {
+      fail("link " + std::to_string(l) + ": endpoint out of range");
+      continue;
+    }
+    if (link.capacity_bps <= 0.0) {
+      fail("link " + std::to_string(l) + ": non-positive capacity");
+    }
+    const bool is_nic = link.link_class == LinkClass::kInjection ||
+                        link.link_class == LinkClass::kConsumption;
+    if (l < graph.num_transit_links()) {
+      if (is_nic) fail("link " + std::to_string(l) + ": NIC class in transit range");
+      if (link.src == link.dst) {
+        fail("link " + std::to_string(l) + ": transit self-loop");
+      }
+      if (link.reverse != kInvalidLink) {
+        if (link.reverse >= graph.num_transit_links()) {
+          fail("link " + std::to_string(l) + ": reverse out of transit range");
+        } else {
+          const auto& rev = graph.link(link.reverse);
+          if (rev.reverse != l || rev.src != link.dst || rev.dst != link.src ||
+              rev.capacity_bps != link.capacity_bps ||
+              rev.link_class != link.link_class) {
+            fail("link " + std::to_string(l) + ": inconsistent duplex twin");
+          }
+        }
+      }
+    } else if (!is_nic) {
+      fail("link " + std::to_string(l) + ": transit class in NIC range");
+    }
+  }
+
+  // No parallel transit links: adjacency is sorted by destination, so
+  // duplicates are adjacent.
+  for (NodeId node = 0; node < n; ++node) {
+    const auto out = graph.out_links(node);
+    for (std::size_t i = 1; i < out.size(); ++i) {
+      if (graph.link(out[i]).dst == graph.link(out[i - 1]).dst) {
+        fail("node " + std::to_string(node) + ": parallel transit links to " +
+             std::to_string(graph.link(out[i]).dst));
+        break;
+      }
+    }
+  }
+
+  // NIC presence and switch degree.
+  for (NodeId node = 0; node < n; ++node) {
+    if (graph.node_kind(node) == NodeKind::kEndpoint) {
+      if (graph.injection_link(node) == kInvalidLink ||
+          graph.consumption_link(node) == kInvalidLink) {
+        fail("endpoint " + std::to_string(node) + ": missing NIC link");
+      }
+    } else if (graph.out_links(node).empty()) {
+      fail("switch " + std::to_string(node) + ": no outgoing links");
+    }
+  }
+
+  // Connectivity (only meaningful if basic structure held up).
+  if (report.ok() && n > 1) {
+    BfsScratch scratch;
+    scratch.run(graph, 0);
+    if (scratch.reached() != n) {
+      fail("graph not connected: reached " + std::to_string(scratch.reached()) +
+           " of " + std::to_string(n) + " nodes from node 0");
+    }
+  }
+
+  return report;
+}
+
+}  // namespace nestflow

@@ -1,0 +1,32 @@
+// Structural validation of constructed topologies. Every topology unit test
+// runs validate_graph() so wiring bugs surface as named violations instead
+// of as mysteriously wrong simulation results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace nestflow {
+
+struct ValidationReport {
+  std::vector<std::string> violations;
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+  /// All violations joined with newlines ("" when ok()).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Checks, over the transit graph:
+///  * link endpoints in range, capacities positive;
+///  * duplex pairing is a consistent involution (reverse-of-reverse, swapped
+///    endpoints, equal capacity and class);
+///  * no parallel transit links between the same ordered node pair (so
+///    Graph::find_link is unambiguous);
+///  * no transit self-loops;
+///  * the transit graph is connected;
+///  * every endpoint has injection and consumption links, switches have none;
+///  * switches have degree >= 1 (no floating hardware).
+[[nodiscard]] ValidationReport validate_graph(const Graph& graph);
+
+}  // namespace nestflow

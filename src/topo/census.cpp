@@ -1,0 +1,45 @@
+#include "topo/census.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace nestflow {
+
+std::string TopologyCensus::to_string() const {
+  std::ostringstream out;
+  out << "endpoints=" << endpoints << " switches=" << switches
+      << " cables(torus=" << torus_cables << ",uplink=" << uplink_cables
+      << ",upper=" << upper_cables << ") switch_ports=" << switch_ports
+      << " max_radix=" << max_switch_radix;
+  return out.str();
+}
+
+TopologyCensus take_census(const Graph& graph) {
+  TopologyCensus census;
+  census.endpoints = graph.num_endpoints();
+  census.switches = graph.num_switches();
+
+  for (LinkId l = 0; l < graph.num_transit_links(); ++l) {
+    const auto& link = graph.link(l);
+    // Count each duplex cable once (from its lower-id direction); a
+    // one-directional transit link (none are built today) counts too.
+    if (link.reverse != kInvalidLink && link.reverse < l) continue;
+    switch (link.link_class) {
+      case LinkClass::kTorus: ++census.torus_cables; break;
+      case LinkClass::kUplink: ++census.uplink_cables; break;
+      case LinkClass::kUpper: ++census.upper_cables; break;
+      case LinkClass::kInjection:
+      case LinkClass::kConsumption: break;  // not transit; unreachable
+    }
+  }
+
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    if (graph.node_kind(n) != NodeKind::kSwitch) continue;
+    const auto radix = static_cast<std::uint32_t>(graph.out_links(n).size());
+    census.switch_ports += radix;
+    census.max_switch_radix = std::max(census.max_switch_radix, radix);
+  }
+  return census;
+}
+
+}  // namespace nestflow

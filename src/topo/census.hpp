@@ -1,0 +1,36 @@
+// Component census: counts the hardware a topology needs. Feeds the cost
+// and power overhead model that reproduces the paper's Table 2.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace nestflow {
+
+class Topology;
+
+struct TopologyCensus {
+  std::uint64_t endpoints = 0;
+  std::uint64_t switches = 0;
+  /// Cables per class (a duplex pair counts once; NIC links are internal to
+  /// the endpoint and excluded).
+  std::uint64_t torus_cables = 0;
+  std::uint64_t uplink_cables = 0;
+  std::uint64_t upper_cables = 0;
+  /// Sum of switch degrees (ports across all switches).
+  std::uint64_t switch_ports = 0;
+  std::uint32_t max_switch_radix = 0;
+
+  [[nodiscard]] std::uint64_t total_cables() const noexcept {
+    return torus_cables + uplink_cables + upper_cables;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Walks the graph once and tallies components.
+[[nodiscard]] TopologyCensus take_census(const Graph& graph);
+
+}  // namespace nestflow

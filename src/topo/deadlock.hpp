@@ -1,0 +1,44 @@
+// Channel-dependency-graph (CDG) deadlock analysis, after Dally & Seitz:
+// a deterministic wormhole/VC-less routing function is deadlock-free iff
+// the graph whose vertices are channels (directed transit links) and whose
+// edges are the "holds A, requests B" pairs induced by routed paths is
+// acyclic.
+//
+// This matters directly for the paper's design space: dimension-order
+// routing on a *wrapped* torus is famously cyclic (real tori burn virtual
+// channels on it), while UP*/DOWN* trees and e-cube on the switch-based
+// GHC are acyclic — and the hybrids inherit whichever their subtorus size
+// implies. The analysis below makes those facts checkable per instance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace nestflow {
+
+struct DeadlockReport {
+  bool acyclic = true;
+  std::uint64_t channels = 0;        // directed transit links considered
+  std::uint64_t dependencies = 0;    // distinct CDG edges
+  std::uint64_t paths_analysed = 0;
+  /// True when every ordered endpoint pair was routed (proof); false when
+  /// the pair set was sampled (evidence only).
+  bool exhaustive = false;
+  /// A witness cycle (channel ids, in order) when not acyclic.
+  std::vector<LinkId> example_cycle;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Builds the CDG from the deterministic routing function and checks
+/// acyclicity. All ordered endpoint pairs are routed when their count is
+/// at most `max_pairs`; otherwise `max_pairs` pairs are sampled (a sampled
+/// analysis can miss dependencies, so "acyclic" is then only evidence, not
+/// proof — `exhaustive` in the report says which you got).
+[[nodiscard]] DeadlockReport analyze_deadlock(const Topology& topology,
+                                              std::uint64_t max_pairs = 1u << 22,
+                                              std::uint64_t seed = 42);
+
+}  // namespace nestflow

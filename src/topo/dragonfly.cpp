@@ -1,0 +1,174 @@
+#include "topo/dragonfly.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace nestflow {
+
+DragonflyTopology::Params DragonflyTopology::balanced_params(
+    std::uint64_t min_endpoints) {
+  // a = 2p = 2h, g = a*h + 1, N = g*a*p: grow p until N >= min_endpoints.
+  Params params;
+  for (std::uint32_t p = 1;; ++p) {
+    const std::uint32_t a = 2 * p;
+    const std::uint32_t h = p;
+    const std::uint64_t g = static_cast<std::uint64_t>(a) * h + 1;
+    const std::uint64_t n = g * a * p;
+    if (n >= min_endpoints || p > 64) {
+      params.endpoints_per_router = p;
+      params.routers_per_group = a;
+      params.globals_per_router = h;
+      params.num_groups = static_cast<std::uint32_t>(g);
+      return params;
+    }
+  }
+}
+
+DragonflyTopology::DragonflyTopology(Params params) : params_(params) {
+  const auto p = params_.endpoints_per_router;
+  const auto a = params_.routers_per_group;
+  const auto h = params_.globals_per_router;
+  if (p == 0 || a < 2 || h == 0) {
+    throw std::invalid_argument("Dragonfly: need p >= 1, a >= 2, h >= 1");
+  }
+  groups_ = params_.num_groups == 0 ? a * h + 1 : params_.num_groups;
+  if (groups_ != a * h + 1) {
+    throw std::invalid_argument(
+        "Dragonfly: only the full size g = a*h + 1 is supported");
+  }
+
+  GraphBuilder builder;
+  const std::uint64_t num_endpoints =
+      static_cast<std::uint64_t>(groups_) * a * p;
+  if (num_endpoints > (1ull << 31)) {
+    throw std::invalid_argument("Dragonfly: too many endpoints");
+  }
+  builder.add_nodes(NodeKind::kEndpoint,
+                    static_cast<std::uint32_t>(num_endpoints));
+  first_router_ = builder.add_nodes(NodeKind::kSwitch, groups_ * a);
+
+  // Endpoint -> router links.
+  for (std::uint32_t e = 0; e < num_endpoints; ++e) {
+    builder.add_duplex(e, first_router_ + e / p, params_.link_bps,
+                       LinkClass::kUplink);
+  }
+  // Intra-group complete graph.
+  for (std::uint32_t group = 0; group < groups_; ++group) {
+    for (std::uint32_t r1 = 0; r1 < a; ++r1) {
+      for (std::uint32_t r2 = r1 + 1; r2 < a; ++r2) {
+        builder.add_duplex(router_node(group, r1), router_node(group, r2),
+                           params_.link_bps, LinkClass::kTorus);
+      }
+    }
+  }
+  // Palmtree global wiring: each pair of groups gets exactly one cable,
+  // added once from the lower-indexed slot side.
+  for (std::uint32_t group = 0; group < groups_; ++group) {
+    for (std::uint32_t slot = 0; slot < a * h; ++slot) {
+      const std::uint32_t peer = (group + slot + 1) % groups_;
+      if (group > peer) continue;  // each pair is added from its lower side
+      const std::uint32_t peer_slot = a * h - 1 - slot;
+      builder.add_duplex(router_node(group, slot / h),
+                         router_node(peer, peer_slot / h), params_.link_bps,
+                         LinkClass::kUpper);
+    }
+  }
+
+  adopt_graph(std::move(builder).build(params_.link_bps));
+}
+
+NodeId DragonflyTopology::router_node(std::uint32_t group,
+                                      std::uint32_t router) const {
+  return first_router_ + group * params_.routers_per_group + router;
+}
+
+std::uint32_t DragonflyTopology::router_of(std::uint32_t endpoint) const {
+  return endpoint / params_.endpoints_per_router;
+}
+
+std::uint32_t DragonflyTopology::group_of_endpoint(
+    std::uint32_t endpoint) const {
+  return router_of(endpoint) / params_.routers_per_group;
+}
+
+std::uint32_t DragonflyTopology::global_slot(std::uint32_t src_group,
+                                             std::uint32_t dst_group) const {
+  assert(src_group != dst_group);
+  return (dst_group + groups_ - src_group - 1) % groups_;
+}
+
+void DragonflyTopology::route(std::uint32_t src, std::uint32_t dst,
+                              Path& path) const {
+  path.clear();
+  if (src == dst) return;
+  const auto a = params_.routers_per_group;
+  const auto h = params_.globals_per_router;
+
+  const std::uint32_t src_router = router_of(src);
+  const std::uint32_t dst_router = router_of(dst);
+  NodeId current = first_router_ + src_router;
+  append_hop(src, current, path);
+
+  const std::uint32_t src_group = src_router / a;
+  const std::uint32_t dst_group = dst_router / a;
+  if (src_group != dst_group) {
+    const std::uint32_t out_slot = global_slot(src_group, dst_group);
+    const NodeId exit_router = router_node(src_group, out_slot / h);
+    if (exit_router != current) {
+      append_hop(current, exit_router, path);
+      current = exit_router;
+    }
+    const std::uint32_t in_slot = a * h - 1 - out_slot;
+    const NodeId entry_router = router_node(dst_group, in_slot / h);
+    append_hop(current, entry_router, path);
+    current = entry_router;
+  }
+  const NodeId final_router = first_router_ + dst_router;
+  if (final_router != current) {
+    append_hop(current, final_router, path);
+    current = final_router;
+  }
+  append_hop(current, dst, path);
+}
+
+std::uint32_t DragonflyTopology::route_distance(std::uint32_t src,
+                                                std::uint32_t dst) const {
+  if (src == dst) return 0;
+  const auto a = params_.routers_per_group;
+  const auto h = params_.globals_per_router;
+  const std::uint32_t src_router = router_of(src);
+  const std::uint32_t dst_router = router_of(dst);
+  if (src_router == dst_router) return 2;
+  const std::uint32_t src_group = src_router / a;
+  const std::uint32_t dst_group = dst_router / a;
+  if (src_group == dst_group) return 3;
+  const std::uint32_t out_slot = global_slot(src_group, dst_group);
+  const std::uint32_t in_slot = a * h - 1 - out_slot;
+  std::uint32_t hops = 3;  // endpoint->router, global, router->endpoint
+  if (router_node(src_group, out_slot / h) !=
+      first_router_ + src_router) {
+    ++hops;
+  }
+  if (router_node(dst_group, in_slot / h) != first_router_ + dst_router) {
+    ++hops;
+  }
+  return hops;
+}
+
+std::string DragonflyTopology::name() const {
+  std::ostringstream out;
+  out << "Dragonfly(p=" << params_.endpoints_per_router
+      << ",a=" << params_.routers_per_group
+      << ",h=" << params_.globals_per_router << ",g=" << groups_ << ")";
+  return out.str();
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+DragonflyTopology::adversarial_pairs() const {
+  // Endpoint 0 to the last endpoint: different groups, generally needing
+  // both intra-group hops.
+  return {{0u, num_endpoints() - 1}};
+}
+
+}  // namespace nestflow

@@ -1,0 +1,68 @@
+// Dragonfly topology (Kim et al., ISCA'08) — the related-work baseline the
+// paper singles out as "one of the latest network organizations getting
+// great interest" (§2). Implemented as an extension so nestflow users can
+// put the hybrids side by side with it.
+//
+// Structure: g groups of `a` routers; each router hosts p endpoints and
+// h global ports; routers within a group form a complete graph (the group
+// acts as one virtual high-radix router). We build the canonical full-size
+// arrangement g = a*h + 1 with the palmtree global wiring: group G's
+// global port l (l in [0, a*h)) connects to group (G + l + 1) mod g, port
+// a*h - 1 - l — which pairs every two groups with exactly one cable.
+//
+// Routing is minimal direct: source router, at most one intra-group hop to
+// the router owning the global link towards the destination group, the
+// global hop, at most one intra-group hop to the destination router. The
+// paper's observation that dragonflies are "very sensitive to communication
+// patterns ... primarily with unbalanced loads" falls out of this minimal
+// routing (no Valiant randomisation is applied).
+#pragma once
+
+#include "topo/topology.hpp"
+
+namespace nestflow {
+
+class DragonflyTopology final : public Topology {
+ public:
+  struct Params {
+    std::uint32_t endpoints_per_router = 4;  // p
+    std::uint32_t routers_per_group = 8;     // a
+    std::uint32_t globals_per_router = 4;    // h
+    /// Number of groups; 0 selects the full size a*h + 1. Only the full
+    /// size is currently supported (the palmtree arrangement needs it).
+    std::uint32_t num_groups = 0;
+    double link_bps = kDefaultLinkBps;
+  };
+
+  /// The balanced sizing rule a = 2p = 2h from the original paper, chosen
+  /// so the endpoint count is at least `min_endpoints`.
+  [[nodiscard]] static Params balanced_params(std::uint64_t min_endpoints);
+
+  explicit DragonflyTopology(Params params);
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+  [[nodiscard]] std::uint32_t num_groups() const noexcept { return groups_; }
+  [[nodiscard]] std::uint32_t router_of(std::uint32_t endpoint) const;
+  [[nodiscard]] std::uint32_t group_of_endpoint(std::uint32_t endpoint) const;
+
+  void route(std::uint32_t src, std::uint32_t dst, Path& path) const override;
+  [[nodiscard]] std::uint32_t route_distance(std::uint32_t src,
+                                             std::uint32_t dst) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>>
+  adversarial_pairs() const override;
+
+ private:
+  [[nodiscard]] NodeId router_node(std::uint32_t group,
+                                   std::uint32_t router) const;
+  /// Index of the global link (within [0, a*h)) group `src_group` uses to
+  /// reach `dst_group`, and the owning router.
+  [[nodiscard]] std::uint32_t global_slot(std::uint32_t src_group,
+                                          std::uint32_t dst_group) const;
+
+  Params params_;
+  std::uint32_t groups_ = 0;
+  NodeId first_router_ = 0;
+};
+
+}  // namespace nestflow

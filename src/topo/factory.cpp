@@ -1,0 +1,137 @@
+#include "topo/factory.hpp"
+
+#include <charconv>
+#include <stdexcept>
+#include <vector>
+
+#include "topo/dragonfly.hpp"
+#include "topo/jellyfish.hpp"
+#include "topo/thintree.hpp"
+
+namespace nestflow {
+
+namespace {
+
+std::vector<std::uint32_t> parse_uint_list(std::string_view text, char sep) {
+  std::vector<std::uint32_t> out;
+  while (!text.empty()) {
+    const auto pos = text.find(sep);
+    const std::string_view tok = text.substr(0, pos);
+    std::uint32_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), value);
+    if (ec != std::errc() || ptr != tok.data() + tok.size()) {
+      throw std::invalid_argument("bad number in topology spec: " +
+                                  std::string(tok));
+    }
+    out.push_back(value);
+    if (pos == std::string_view::npos) break;
+    text.remove_prefix(pos + 1);
+  }
+  if (out.empty()) throw std::invalid_argument("empty list in topology spec");
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<Topology> make_reference_torus(std::uint64_t n,
+                                               double link_bps) {
+  return std::make_unique<TorusTopology>(balanced_pow2_dims(n, 3), link_bps);
+}
+
+std::unique_ptr<Topology> make_reference_fattree(std::uint64_t n,
+                                                 double link_bps) {
+  return std::make_unique<FatTreeTopology>(paper_fattree_arities(n), link_bps);
+}
+
+std::unique_ptr<NestedTopology> make_nested(std::uint64_t n, std::uint32_t t,
+                                            std::uint32_t u,
+                                            UpperTierKind upper,
+                                            double link_bps) {
+  const auto dims = balanced_pow2_dims(n, 3);
+  NestedConfig config;
+  config.global_dims = {dims[0], dims[1], dims[2]};
+  config.t = t;
+  config.u = u;
+  config.upper = upper;
+  config.link_bps = link_bps;
+  return std::make_unique<NestedTopology>(std::move(config));
+}
+
+std::unique_ptr<Topology> make_topology(std::string_view spec,
+                                        double link_bps) {
+  const auto colon = spec.find(':');
+  if (colon == std::string_view::npos) {
+    throw std::invalid_argument("topology spec needs 'kind:params', got: " +
+                                std::string(spec));
+  }
+  const std::string_view kind = spec.substr(0, colon);
+  const std::string_view params = spec.substr(colon + 1);
+
+  if (kind == "torus") {
+    return std::make_unique<TorusTopology>(parse_uint_list(params, 'x'),
+                                           link_bps);
+  }
+  if (kind == "fattree") {
+    return std::make_unique<FatTreeTopology>(parse_uint_list(params, ','),
+                                             link_bps);
+  }
+  if (kind == "ghc") {
+    return std::make_unique<GhcTopology>(parse_uint_list(params, 'x'),
+                                         link_bps);
+  }
+  if (kind == "nesttree" || kind == "nestghc") {
+    const auto values = parse_uint_list(params, ',');
+    if (values.size() != 3) {
+      throw std::invalid_argument(
+          "nested spec needs 'N,t,u', got: " + std::string(params));
+    }
+    return make_nested(values[0], values[1], values[2],
+                       kind == "nesttree" ? UpperTierKind::kFattree
+                                          : UpperTierKind::kGhc,
+                       link_bps);
+  }
+  if (kind == "thintree") {
+    const auto values = parse_uint_list(params, ',');
+    if (values.size() != 3) {
+      throw std::invalid_argument(
+          "thintree spec needs 'k,kup,levels', got: " + std::string(params));
+    }
+    ThinTreeTopology::Params thintree;
+    thintree.k = values[0];
+    thintree.k_up = values[1];
+    thintree.levels = values[2];
+    thintree.link_bps = link_bps;
+    return std::make_unique<ThinTreeTopology>(thintree);
+  }
+  if (kind == "dragonfly") {
+    const auto values = parse_uint_list(params, ',');
+    if (values.size() != 3) {
+      throw std::invalid_argument(
+          "dragonfly spec needs 'p,a,h', got: " + std::string(params));
+    }
+    DragonflyTopology::Params dragonfly;
+    dragonfly.endpoints_per_router = values[0];
+    dragonfly.routers_per_group = values[1];
+    dragonfly.globals_per_router = values[2];
+    dragonfly.link_bps = link_bps;
+    return std::make_unique<DragonflyTopology>(dragonfly);
+  }
+  if (kind == "jellyfish") {
+    const auto values = parse_uint_list(params, ',');
+    if (values.size() != 3 && values.size() != 4) {
+      throw std::invalid_argument(
+          "jellyfish spec needs 'n,e,k[,seed]', got: " + std::string(params));
+    }
+    JellyfishTopology::Params jellyfish;
+    jellyfish.num_switches = values[0];
+    jellyfish.endpoint_ports = values[1];
+    jellyfish.network_ports = values[2];
+    if (values.size() == 4) jellyfish.seed = values[3];
+    jellyfish.link_bps = link_bps;
+    return std::make_unique<JellyfishTopology>(jellyfish);
+  }
+  throw std::invalid_argument("unknown topology kind: " + std::string(kind));
+}
+
+}  // namespace nestflow

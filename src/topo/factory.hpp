@@ -1,0 +1,44 @@
+// Construction helpers: the reference instances the paper compares against
+// and a string-spec factory for the CLI tools.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "topo/nested.hpp"
+#include "topo/topology.hpp"
+
+namespace nestflow {
+
+/// Reference 3-D torus over n endpoints (n must be a power of two):
+/// balanced dims, descending — n = 2^17 gives the paper's 64x64x32.
+[[nodiscard]] std::unique_ptr<Topology> make_reference_torus(
+    std::uint64_t n, double link_bps = kDefaultLinkBps);
+
+/// Reference fat-tree over n endpoints using the paper's arity rule
+/// (n = 2^17 gives (32, 32, 128): 9216 switches).
+[[nodiscard]] std::unique_ptr<Topology> make_reference_fattree(
+    std::uint64_t n, double link_bps = kDefaultLinkBps);
+
+/// Nested hybrid over n endpoints (power of two): global grid = balanced
+/// descending dims (each a multiple of t), subtorus size t, thinning u.
+[[nodiscard]] std::unique_ptr<NestedTopology> make_nested(
+    std::uint64_t n, std::uint32_t t, std::uint32_t u, UpperTierKind upper,
+    double link_bps = kDefaultLinkBps);
+
+/// Parses a topology spec string:
+///   "torus:AxBxC"            e.g. torus:16x16x16
+///   "fattree:d1,d2,..."      e.g. fattree:32,32,4
+///   "ghc:AxBxC"              e.g. ghc:16x16x16
+///   "nesttree:N,t,u"         e.g. nesttree:4096,2,4
+///   "nestghc:N,t,u"          e.g. nestghc:4096,8,1
+///   "thintree:k,kup,levels"  e.g. thintree:4,2,3 (k:k'-ary n-tree)
+///   "dragonfly:p,a,h"        e.g. dragonfly:4,8,4 (g = a*h+1 groups)
+///   "jellyfish:n,e,k[,seed]" e.g. jellyfish:256,4,8
+/// Throws std::invalid_argument with a descriptive message on bad specs.
+[[nodiscard]] std::unique_ptr<Topology> make_topology(std::string_view spec,
+                                                      double link_bps =
+                                                          kDefaultLinkBps);
+
+}  // namespace nestflow

@@ -1,0 +1,260 @@
+#include "topo/fattree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace nestflow {
+
+FattreeTier::FattreeTier(GraphBuilder& builder, std::vector<NodeId> leaves,
+                         std::vector<std::uint32_t> down_arities,
+                         double link_bps, LinkClass leaf_link_class)
+    : leaves_(std::move(leaves)), arities_(std::move(down_arities)) {
+  if (arities_.empty()) {
+    throw std::invalid_argument("FattreeTier: need >= 1 stage");
+  }
+  for (const auto d : arities_) {
+    if (d < 2) throw std::invalid_argument("FattreeTier: arity must be >= 2");
+  }
+  const std::uint64_t expected = dims_product(arities_);
+  if (leaves_.size() != expected) {
+    throw std::invalid_argument(
+        "FattreeTier: leaf count " + std::to_string(leaves_.size()) +
+        " != product of arities " + std::to_string(expected));
+  }
+
+  const auto n = num_stages();
+  const auto num_leaves = static_cast<std::uint32_t>(leaves_.size());
+  stage_first_switch_.resize(n);
+  stage_count_.resize(n);
+  for (std::uint32_t s = 1; s <= n; ++s) {
+    stage_count_[s - 1] = num_leaves / arities_[s - 1];
+    stage_first_switch_[s - 1] =
+        builder.add_nodes(NodeKind::kSwitch, stage_count_[s - 1]);
+  }
+
+  // Leaf -> stage-1 links.
+  std::vector<std::uint32_t> digits(n);
+  for (std::uint32_t leaf = 0; leaf < num_leaves; ++leaf) {
+    decode_leaf(leaf, digits);
+    builder.add_duplex(leaves_[leaf], switch_node(1, switch_label(digits, 1)),
+                       link_bps, leaf_link_class);
+  }
+
+  // Stage s -> stage s+1 links. A stage-s switch A connects to the
+  // stage-(s+1) switches that agree with it on every shared digit; the
+  // free digit (position s of the upper switch) enumerates A's d_s up-ports.
+  std::vector<std::uint32_t> a_digits(n), b_digits(n);
+  for (std::uint32_t s = 1; s < n; ++s) {
+    for (std::uint32_t label = 0; label < stage_count_[s - 1]; ++label) {
+      // Decode A's label into a full digit vector with position s "free"
+      // (set to 0; it is never read for A itself).
+      std::uint32_t rest = label;
+      for (std::uint32_t pos = 1; pos <= n; ++pos) {
+        if (pos == s) {
+          a_digits[pos - 1] = 0;
+          continue;
+        }
+        a_digits[pos - 1] = rest % arities_[pos - 1];
+        rest /= arities_[pos - 1];
+      }
+      b_digits = a_digits;
+      for (std::uint32_t v = 0; v < arities_[s - 1]; ++v) {
+        b_digits[s - 1] = v;  // position s fixed in the upper switch's label
+        builder.add_duplex(switch_node(s, label),
+                           switch_node(s + 1, switch_label(b_digits, s + 1)),
+                           link_bps, LinkClass::kUpper);
+      }
+    }
+  }
+}
+
+void FattreeTier::decode_leaf(std::uint32_t leaf,
+                              std::vector<std::uint32_t>& digits) const {
+  assert(digits.size() == arities_.size());
+  for (std::size_t i = 0; i < arities_.size(); ++i) {
+    digits[i] = leaf % arities_[i];
+    leaf /= arities_[i];
+  }
+}
+
+std::uint32_t FattreeTier::switch_label(const std::vector<std::uint32_t>& digits,
+                                        std::uint32_t stage) const {
+  // Mixed-radix flattening over positions 1..n excluding `stage`,
+  // ascending, position (stage==1 ? 2 : 1) least significant.
+  std::uint32_t label = 0;
+  std::uint32_t stride = 1;
+  for (std::uint32_t pos = 1; pos <= num_stages(); ++pos) {
+    if (pos == stage) continue;
+    label += digits[pos - 1] * stride;
+    stride *= arities_[pos - 1];
+  }
+  return label;
+}
+
+NodeId FattreeTier::switch_node(std::uint32_t stage, std::uint32_t label) const {
+  assert(stage >= 1 && stage <= num_stages());
+  assert(label < stage_count_[stage - 1]);
+  return stage_first_switch_[stage - 1] + label;
+}
+
+std::uint64_t FattreeTier::num_switches() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto c : stage_count_) total += c;
+  return total;
+}
+
+void FattreeTier::route(const Graph& graph, std::uint32_t leaf_src,
+                        std::uint32_t leaf_dst, Path& path,
+                        const LinkLoads* loads) const {
+  if (leaf_src == leaf_dst) return;
+  const auto n = num_stages();
+  std::vector<std::uint32_t> src_digits(n), dst_digits(n);
+  decode_leaf(leaf_src, src_digits);
+  decode_leaf(leaf_dst, dst_digits);
+
+  std::uint32_t m = 0;  // nearest-common-ancestor stage (1-based)
+  for (std::uint32_t pos = n; pos >= 1; --pos) {
+    if (src_digits[pos - 1] != dst_digits[pos - 1]) {
+      m = pos;
+      break;
+    }
+  }
+  assert(m >= 1);
+
+  const auto hop = [&](NodeId from, NodeId to) {
+    const LinkId l = graph.find_link(from, to);
+    if (l == kInvalidLink) {
+      throw std::logic_error("FattreeTier::route: missing link");
+    }
+    path.links.push_back(l);
+    return l;
+  };
+
+  // Working digit vector: starts as the source's; each ascent step fixes
+  // one low digit (deterministically to the destination's value — d-mod-k —
+  // or adaptively to the least-loaded up-port), and each descent step fixes
+  // the digit of the stage being left to the destination's.
+  std::vector<std::uint32_t> w = src_digits;
+  NodeId current = switch_node(1, switch_label(w, 1));
+  hop(leaves_[leaf_src], current);
+  for (std::uint32_t s = 1; s < m; ++s) {  // ascend to stage m
+    std::uint32_t choice = dst_digits[s - 1];
+    if (loads != nullptr) {
+      // Cheapest of the d_s candidate up-links (congestion cost balances
+      // load and avoids degraded links); candidates are probed starting at
+      // the d-mod-k digit so unloaded routing matches the deterministic
+      // path exactly.
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (std::uint32_t v = 0; v < arities_[s - 1]; ++v) {
+        const std::uint32_t digit = (dst_digits[s - 1] + v) % arities_[s - 1];
+        w[s - 1] = digit;
+        const NodeId candidate = switch_node(s + 1, switch_label(w, s + 1));
+        const LinkId l = graph.find_link(current, candidate);
+        assert(l != kInvalidLink);
+        const double cost = loads->cost(l);
+        if (cost < best_cost) {
+          best_cost = cost;
+          choice = digit;
+        }
+      }
+    }
+    w[s - 1] = choice;
+    const NodeId next = switch_node(s + 1, switch_label(w, s + 1));
+    hop(current, next);
+    current = next;
+  }
+  for (std::uint32_t s = m; s >= 2; --s) {  // descend to stage 1
+    w[s - 1] = dst_digits[s - 1];
+    const NodeId next = switch_node(s - 1, switch_label(w, s - 1));
+    hop(current, next);
+    current = next;
+  }
+  hop(current, leaves_[leaf_dst]);
+}
+
+std::uint32_t FattreeTier::route_distance(std::uint32_t leaf_src,
+                                          std::uint32_t leaf_dst) const {
+  if (leaf_src == leaf_dst) return 0;
+  std::uint32_t m = 0;
+  for (std::uint32_t pos = num_stages(); pos >= 1; --pos) {
+    std::uint32_t stride = 1;
+    for (std::uint32_t i = 1; i < pos; ++i) stride *= arities_[i - 1];
+    if ((leaf_src / stride) % arities_[pos - 1] !=
+        (leaf_dst / stride) % arities_[pos - 1]) {
+      m = pos;
+      break;
+    }
+  }
+  return 2 * m;
+}
+
+std::vector<std::uint32_t> paper_fattree_arities(std::uint64_t num_leaves) {
+  if (num_leaves < 2) {
+    throw std::invalid_argument("paper_fattree_arities: need >= 2 leaves");
+  }
+  std::vector<std::uint32_t> arities;
+  std::uint64_t remaining = num_leaves;
+  // Two radix-32 stages (when the size allows), top stage takes the rest.
+  for (int stage = 0; stage < 2 && remaining > 32; ++stage) {
+    if (remaining % 32 != 0) break;
+    arities.push_back(32);
+    remaining /= 32;
+  }
+  if (remaining > 1) {
+    arities.push_back(static_cast<std::uint32_t>(remaining));
+  }
+  return arities;
+}
+
+FatTreeTopology::FatTreeTopology(std::vector<std::uint32_t> down_arities,
+                                 double link_bps) {
+  GraphBuilder builder;
+  const std::uint64_t num_leaves = dims_product(down_arities);
+  const NodeId first = builder.add_nodes(
+      NodeKind::kEndpoint, static_cast<std::uint32_t>(num_leaves));
+  std::vector<NodeId> leaves(num_leaves);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    leaves[i] = first + static_cast<NodeId>(i);
+  }
+  tier_ = std::make_unique<FattreeTier>(builder, std::move(leaves),
+                                        std::move(down_arities), link_bps,
+                                        LinkClass::kUplink);
+  adopt_graph(std::move(builder).build(link_bps));
+}
+
+void FatTreeTopology::route(std::uint32_t src, std::uint32_t dst,
+                            Path& path) const {
+  path.clear();
+  if (src == dst) return;
+  tier_->route(graph(), src, dst, path);
+}
+
+void FatTreeTopology::route_adaptive(std::uint32_t src, std::uint32_t dst,
+                                     Path& path,
+                                     const LinkLoads& loads) const {
+  path.clear();
+  if (src == dst) return;
+  tier_->route(graph(), src, dst, path, &loads);
+}
+
+std::string FatTreeTopology::name() const {
+  std::ostringstream out;
+  out << "Fattree(";
+  for (std::size_t i = 0; i < tier_->arities().size(); ++i) {
+    if (i) out << ",";
+    out << tier_->arities()[i];
+  }
+  out << ")";
+  return out.str();
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+FatTreeTopology::adversarial_pairs() const {
+  // First and last leaves differ in the top digit: full 2n-hop route.
+  return {{0u, num_endpoints() - 1}};
+}
+
+}  // namespace nestflow

@@ -1,0 +1,92 @@
+// Generalised hypercube (GHC), switch-based / server-centric construction.
+//
+// Servers are labelled by mixed-radix digit vectors over `dims`; for every
+// dimension i, each group of d_i servers that agree on all other digits
+// shares one radix-d_i switch (the BCube-style deployment the paper adapts
+// for its upper tier — §2 cites BCube as the inspiration). A server
+// therefore needs one port per dimension: with 3 dimensions this matches
+// the 3 spare QFDB uplinks of the ExaNeSt boards.
+//
+// Switch census: sum over dimensions of U/d_i. With the most-balanced
+// 3-way power-of-two factorisation this reproduces the paper's Table 2 GHC
+// switch counts exactly (U = 2^17 -> 64x64x32 -> 8192 switches).
+//
+// Routing is e-cube: dimensions corrected in ascending order; each
+// correction is two hops (server -> dimension switch -> server).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.hpp"
+#include "topo/torus.hpp"  // GridShape
+
+namespace nestflow {
+
+/// Wires a GHC over an arbitrary ordered set of server nodes and routes
+/// between server indices. Reused by GhcTopology (servers = endpoints) and
+/// by NestedTopology (servers = uplinked QFDBs).
+class GhcTier {
+ public:
+  /// servers.size() must equal the product of dims. Dimensions of size 1
+  /// are allowed and contribute no switches. Server-to-switch links get
+  /// `server_link_class` (kUplink in both standalone and nested use: they
+  /// are QFDB transceiver ports).
+  GhcTier(GraphBuilder& builder, std::vector<NodeId> servers,
+          std::vector<std::uint32_t> dims, double link_bps,
+          LinkClass server_link_class);
+
+  /// Appends the e-cube route between two distinct server indices.
+  void route(const Graph& graph, std::uint32_t src, std::uint32_t dst,
+             Path& path) const;
+
+  /// Hops route() takes: 2 * (number of differing digits).
+  [[nodiscard]] std::uint32_t route_distance(std::uint32_t src,
+                                             std::uint32_t dst) const;
+
+  [[nodiscard]] const GridShape& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::uint32_t num_servers() const noexcept {
+    return static_cast<std::uint32_t>(servers_.size());
+  }
+  [[nodiscard]] std::uint64_t num_switches() const noexcept;
+
+  /// Switch node id for (dimension, group); group = server index with the
+  /// digit of `dim` removed (mixed-radix flattening of remaining digits).
+  [[nodiscard]] NodeId switch_node(std::uint32_t dim,
+                                   std::uint32_t group) const;
+  [[nodiscard]] std::uint32_t group_of(std::uint32_t server,
+                                       std::uint32_t dim) const;
+
+ private:
+  std::vector<NodeId> servers_;
+  GridShape shape_;
+  std::vector<NodeId> dim_first_switch_;     // kInvalidNode for size-1 dims
+  std::vector<std::uint32_t> dim_group_count_;
+};
+
+/// The most-balanced d-way power-of-two factorisation, ascending
+/// (U = 2^17, 3 dims -> 32x64x64), matching the paper's Table 2 GHC counts.
+[[nodiscard]] std::vector<std::uint32_t> balanced_ghc_dims(
+    std::uint64_t num_servers, std::uint32_t num_dims = 3);
+
+class GhcTopology final : public Topology {
+ public:
+  explicit GhcTopology(std::vector<std::uint32_t> dims,
+                       double link_bps = kDefaultLinkBps);
+
+  [[nodiscard]] const GhcTier& tier() const noexcept { return *tier_; }
+
+  void route(std::uint32_t src, std::uint32_t dst, Path& path) const override;
+  [[nodiscard]] std::uint32_t route_distance(
+      std::uint32_t src, std::uint32_t dst) const override {
+    return tier_->route_distance(src, dst);
+  }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>>
+  adversarial_pairs() const override;
+
+ private:
+  std::unique_ptr<GhcTier> tier_;
+};
+
+}  // namespace nestflow

@@ -1,0 +1,214 @@
+#include "topo/jellyfish.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace nestflow {
+
+namespace {
+
+/// Attempts one random pairing of n*k port stubs into a simple k-regular
+/// graph. Returns edges, or empty on failure (self-loop / parallel edge
+/// that could not be resolved by swapping).
+std::vector<std::pair<std::uint32_t, std::uint32_t>> try_random_regular(
+    std::uint32_t n, std::uint32_t k, Prng& prng) {
+  std::vector<std::uint32_t> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * k);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    for (std::uint32_t port = 0; port < k; ++port) stubs.push_back(s);
+  }
+  prng.shuffle(std::span<std::uint32_t>(stubs));
+
+  std::set<std::pair<std::uint32_t, std::uint32_t>> edge_set;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    std::uint32_t a = stubs[i], b = stubs[i + 1];
+    if (a == b || edge_set.contains({std::min(a, b), std::max(a, b)})) {
+      // Try to repair by swapping with a random earlier pairing.
+      bool repaired = false;
+      for (int attempt = 0; attempt < 32 && !edges.empty(); ++attempt) {
+        const auto j = prng.next_below(edges.size());
+        auto [c, d] = edges[j];
+        // Rewire (a,b) + (c,d) -> (a,c) + (b,d).
+        if (a != c && b != d &&
+            !edge_set.contains({std::min(a, c), std::max(a, c)}) &&
+            !edge_set.contains({std::min(b, d), std::max(b, d)})) {
+          edge_set.erase({std::min(c, d), std::max(c, d)});
+          edges[j] = {std::min(a, c), std::max(a, c)};
+          edge_set.insert(edges[j]);
+          a = b;
+          b = d;
+          repaired = true;
+          break;
+        }
+      }
+      if (!repaired || a == b ||
+          edge_set.contains({std::min(a, b), std::max(a, b)})) {
+        return {};
+      }
+    }
+    const auto edge = std::make_pair(std::min(a, b), std::max(a, b));
+    edge_set.insert(edge);
+    edges.push_back(edge);
+  }
+  return edges;
+}
+
+/// BFS connectivity over an adjacency list.
+bool is_connected(std::uint32_t n,
+                  const std::vector<std::vector<std::uint32_t>>& adj) {
+  if (n == 0) return true;
+  std::vector<char> seen(n, 0);
+  std::deque<std::uint32_t> queue = {0};
+  seen[0] = 1;
+  std::uint32_t reached = 1;
+  while (!queue.empty()) {
+    const auto u = queue.front();
+    queue.pop_front();
+    for (const auto v : adj[u]) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        ++reached;
+        queue.push_back(v);
+      }
+    }
+  }
+  return reached == n;
+}
+
+}  // namespace
+
+JellyfishTopology::JellyfishTopology(Params params) : params_(params) {
+  const auto n = params_.num_switches;
+  const auto k = params_.network_ports;
+  const auto e = params_.endpoint_ports;
+  if (n < 2 || e == 0 || k < 2) {
+    throw std::invalid_argument("Jellyfish: need n >= 2, e >= 1, k >= 2");
+  }
+  if (static_cast<std::uint64_t>(n) * k % 2 != 0) {
+    throw std::invalid_argument("Jellyfish: n*k must be even");
+  }
+  if (k >= n) {
+    throw std::invalid_argument("Jellyfish: need k < n for a simple graph");
+  }
+
+  // Deterministic construction: retry pairings (sub-streams of the seed)
+  // until the graph is simple, k-regular and connected.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  std::vector<std::vector<std::uint32_t>> adjacency(n);
+  bool ok = false;
+  for (std::uint64_t attempt = 0; attempt < 256 && !ok; ++attempt) {
+    Prng prng(params_.seed, /*stream=*/0x3e11 + attempt);
+    edges = try_random_regular(n, k, prng);
+    if (edges.empty()) continue;
+    for (auto& list : adjacency) list.clear();
+    for (const auto& [a, b] : edges) {
+      adjacency[a].push_back(b);
+      adjacency[b].push_back(a);
+    }
+    ok = is_connected(n, adjacency);
+  }
+  if (!ok) {
+    throw std::runtime_error(
+        "Jellyfish: failed to build a connected random regular graph");
+  }
+
+  GraphBuilder builder;
+  builder.add_nodes(NodeKind::kEndpoint, n * e);
+  first_switch_ = builder.add_nodes(NodeKind::kSwitch, n);
+  for (std::uint32_t endpoint = 0; endpoint < n * e; ++endpoint) {
+    builder.add_duplex(endpoint, switch_node(endpoint / e), params_.link_bps,
+                       LinkClass::kUplink);
+  }
+  for (const auto& [a, b] : edges) {
+    builder.add_duplex(switch_node(a), switch_node(b), params_.link_bps,
+                       LinkClass::kUpper);
+  }
+  adopt_graph(std::move(builder).build(params_.link_bps));
+  build_routing_tables();
+}
+
+void JellyfishTopology::build_routing_tables() {
+  const auto n = params_.num_switches;
+  next_hop_.assign(static_cast<std::size_t>(n) * n, kInvalidNode);
+  switch_distance_.assign(static_cast<std::size_t>(n) * n, 0xff);
+
+  // Switch-level adjacency from the graph (sorted by node id already).
+  std::vector<std::vector<std::uint32_t>> adjacency(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    for (const LinkId l : graph().out_links(switch_node(s))) {
+      const NodeId peer = graph().link(l).dst;
+      if (graph().node_kind(peer) == NodeKind::kSwitch) {
+        adjacency[s].push_back(peer - first_switch_);
+      }
+    }
+  }
+
+  // One BFS per destination; parents recorded as next hops. Deterministic
+  // tie-break: BFS visits neighbours in ascending switch id.
+  std::deque<std::uint32_t> queue;
+  for (std::uint32_t dst = 0; dst < n; ++dst) {
+    const std::size_t base = static_cast<std::size_t>(dst) * n;
+    switch_distance_[base + dst] = 0;
+    next_hop_[base + dst] = dst;
+    queue.clear();
+    queue.push_back(dst);
+    while (!queue.empty()) {
+      const auto u = queue.front();
+      queue.pop_front();
+      for (const auto v : adjacency[u]) {
+        if (switch_distance_[base + v] != 0xff) continue;
+        switch_distance_[base + v] =
+            static_cast<std::uint8_t>(switch_distance_[base + u] + 1);
+        next_hop_[base + v] = u;  // from v, step to u towards dst
+        queue.push_back(v);
+      }
+    }
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (switch_distance_[base + s] == 0xff) {
+        throw std::logic_error("Jellyfish: routing table hole");
+      }
+    }
+  }
+}
+
+void JellyfishTopology::route(std::uint32_t src, std::uint32_t dst,
+                              Path& path) const {
+  path.clear();
+  if (src == dst) return;
+  const auto n = params_.num_switches;
+  std::uint32_t current = switch_of(src);
+  const std::uint32_t target = switch_of(dst);
+  append_hop(src, switch_node(current), path);
+  const std::size_t base = static_cast<std::size_t>(target) * n;
+  while (current != target) {
+    const std::uint32_t next = next_hop_[base + current];
+    append_hop(switch_node(current), switch_node(next), path);
+    current = next;
+  }
+  append_hop(switch_node(current), dst, path);
+}
+
+std::uint32_t JellyfishTopology::route_distance(std::uint32_t src,
+                                                std::uint32_t dst) const {
+  if (src == dst) return 0;
+  const auto n = params_.num_switches;
+  const std::uint32_t a = switch_of(src);
+  const std::uint32_t b = switch_of(dst);
+  return 2 + switch_distance_[static_cast<std::size_t>(b) * n + a];
+}
+
+std::string JellyfishTopology::name() const {
+  std::ostringstream out;
+  out << "Jellyfish(n=" << params_.num_switches
+      << ",e=" << params_.endpoint_ports << ",k=" << params_.network_ports
+      << ")";
+  return out.str();
+}
+
+}  // namespace nestflow

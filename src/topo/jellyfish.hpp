@@ -1,0 +1,58 @@
+// Jellyfish topology (Singla et al., NSDI'12) — the random-graph baseline
+// from the paper's related-work section: switches wired as a random
+// k-regular graph, prized for incremental expandability, burdened (as the
+// paper notes) by unstructured routing. Implemented as an extension
+// baseline.
+//
+// Each of n switches has e endpoint ports and k network ports; the network
+// ports form a uniformly random k-regular multigraph-free graph built by
+// repeated random pairing with connectivity retry (the construction in the
+// original paper, deterministic in the seed here).
+//
+// Routing is deterministic shortest-path: an all-pairs next-hop table over
+// the switch graph (BFS per destination, lowest-neighbour tie-break) is
+// materialised at construction — O(n^2) memory, so this topology is meant
+// for the <=100k-ish switch scales of the comparison benches.
+#pragma once
+
+#include "topo/topology.hpp"
+
+namespace nestflow {
+
+class JellyfishTopology final : public Topology {
+ public:
+  struct Params {
+    std::uint32_t num_switches = 64;
+    std::uint32_t endpoint_ports = 4;  // e: endpoints per switch
+    std::uint32_t network_ports = 8;   // k: random-graph degree
+    std::uint64_t seed = 1;
+    double link_bps = kDefaultLinkBps;
+  };
+
+  explicit JellyfishTopology(Params params);
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+  [[nodiscard]] std::uint32_t switch_of(std::uint32_t endpoint) const {
+    return endpoint / params_.endpoint_ports;
+  }
+
+  void route(std::uint32_t src, std::uint32_t dst, Path& path) const override;
+  [[nodiscard]] std::uint32_t route_distance(std::uint32_t src,
+                                             std::uint32_t dst) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  [[nodiscard]] NodeId switch_node(std::uint32_t s) const {
+    return first_switch_ + s;
+  }
+  void build_routing_tables();
+
+  Params params_;
+  NodeId first_switch_ = 0;
+  /// next_hop_[dst_switch * n + src_switch] = next switch towards dst.
+  std::vector<std::uint32_t> next_hop_;
+  /// hop count between switches (same layout).
+  std::vector<std::uint8_t> switch_distance_;
+};
+
+}  // namespace nestflow

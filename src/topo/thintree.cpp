@@ -1,0 +1,181 @@
+#include "topo/thintree.hpp"
+
+#include <cassert>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace nestflow {
+
+ThinTreeTopology::ThinTreeTopology(Params params) : params_(params) {
+  const auto k = params_.k;
+  const auto k_up = params_.k_up;
+  const auto n = params_.levels;
+  if (k < 2 || k_up < 1 || k_up > k || n < 1) {
+    throw std::invalid_argument(
+        "ThinTree: need k >= 2, 1 <= k' <= k, levels >= 1");
+  }
+  std::uint64_t leaves = 1;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    leaves *= k;
+    if (leaves > (1ull << 31)) {
+      throw std::invalid_argument("ThinTree: too many leaves");
+    }
+  }
+
+  GraphBuilder builder;
+  builder.add_nodes(NodeKind::kEndpoint, static_cast<std::uint32_t>(leaves));
+
+  stage_first_switch_.resize(n);
+  stage_a_count_.resize(n);
+  stage_b_count_.resize(n);
+  for (std::uint32_t s = 1; s <= n; ++s) {
+    std::uint32_t a_count = 1;
+    for (std::uint32_t i = 0; i < n - s; ++i) a_count *= k;
+    std::uint32_t b_count = 1;
+    for (std::uint32_t i = 0; i + 1 < s; ++i) b_count *= k_up;
+    stage_a_count_[s - 1] = a_count;
+    stage_b_count_[s - 1] = b_count;
+    stage_first_switch_[s - 1] =
+        builder.add_nodes(NodeKind::kSwitch, a_count * b_count);
+  }
+
+  // Leaf -> stage-1 links: leaf's subtree index is its digits 2..n.
+  for (std::uint32_t leaf = 0; leaf < leaves; ++leaf) {
+    builder.add_duplex(leaf, switch_node(1, leaf / k, 0), params_.link_bps,
+                       LinkClass::kUplink);
+  }
+  // Stage s -> s+1: (A, B) connects up to ((A without its lowest digit),
+  // B*k' + c) for c in [0, k').
+  for (std::uint32_t s = 1; s < n; ++s) {
+    for (std::uint32_t a = 0; a < stage_a_count_[s - 1]; ++a) {
+      for (std::uint32_t b = 0; b < stage_b_count_[s - 1]; ++b) {
+        for (std::uint32_t c = 0; c < k_up; ++c) {
+          builder.add_duplex(switch_node(s, a, b),
+                             switch_node(s + 1, a / k, b * k_up + c),
+                             params_.link_bps, LinkClass::kUpper);
+        }
+      }
+    }
+  }
+  adopt_graph(std::move(builder).build(params_.link_bps));
+}
+
+NodeId ThinTreeTopology::switch_node(std::uint32_t stage,
+                                     std::uint32_t a_index,
+                                     std::uint32_t b_index) const {
+  assert(stage >= 1 && stage <= params_.levels);
+  assert(a_index < stage_a_count_[stage - 1]);
+  assert(b_index < stage_b_count_[stage - 1]);
+  return stage_first_switch_[stage - 1] +
+         a_index * stage_b_count_[stage - 1] + b_index;
+}
+
+std::uint32_t ThinTreeTopology::leaf_digit(std::uint32_t leaf,
+                                           std::uint32_t position) const {
+  for (std::uint32_t i = 1; i < position; ++i) leaf /= params_.k;
+  return leaf % params_.k;
+}
+
+std::uint64_t ThinTreeTopology::num_switches() const noexcept {
+  std::uint64_t total = 0;
+  for (std::uint32_t s = 1; s <= params_.levels; ++s) {
+    total += static_cast<std::uint64_t>(stage_a_count_[s - 1]) *
+             stage_b_count_[s - 1];
+  }
+  return total;
+}
+
+std::uint32_t ThinTreeTopology::switches_at_stage(std::uint32_t stage) const {
+  if (stage < 1 || stage > params_.levels) {
+    throw std::out_of_range("ThinTree::switches_at_stage");
+  }
+  return stage_a_count_[stage - 1] * stage_b_count_[stage - 1];
+}
+
+void ThinTreeTopology::route_impl(std::uint32_t src, std::uint32_t dst,
+                                  Path& path, const LinkLoads* loads) const {
+  path.clear();
+  if (src == dst) return;
+  const auto k = params_.k;
+  const auto k_up = params_.k_up;
+  const auto n = params_.levels;
+
+  std::uint32_t m = n;  // nearest-common-ancestor stage
+  while (m > 1 && leaf_digit(src, m) == leaf_digit(dst, m)) --m;
+
+  // Ascend: track (a, b) indices; each up step drops a's lowest digit and
+  // appends a copy digit c.
+  std::uint32_t a = src / k;  // stage-1 subtree index (digits 2..n)
+  std::uint32_t b = 0;
+  NodeId current = switch_node(1, a, b);
+  append_hop(src, current, path);
+  for (std::uint32_t s = 1; s < m; ++s) {
+    std::uint32_t c = leaf_digit(dst, s) % k_up;  // deterministic default
+    if (loads != nullptr && k_up > 1) {
+      double best_cost = std::numeric_limits<double>::infinity();
+      std::uint32_t best_c = c;
+      for (std::uint32_t probe = 0; probe < k_up; ++probe) {
+        const std::uint32_t candidate = (c + probe) % k_up;
+        const NodeId next =
+            switch_node(s + 1, a / k, b * k_up + candidate);
+        const LinkId l = graph().find_link(current, next);
+        assert(l != kInvalidLink);
+        const double cost = loads->cost(l);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_c = candidate;
+        }
+      }
+      c = best_c;
+    }
+    a /= k;
+    b = b * k_up + c;
+    const NodeId next = switch_node(s + 1, a, b);
+    append_hop(current, next, path);
+    current = next;
+  }
+  // Descend: prepend the destination digit at each stage, drop the last
+  // copy digit.
+  for (std::uint32_t s = m; s >= 2; --s) {
+    a = a * k + leaf_digit(dst, s);
+    b /= k_up;
+    const NodeId next = switch_node(s - 1, a, b);
+    append_hop(current, next, path);
+    current = next;
+  }
+  append_hop(current, dst, path);
+}
+
+void ThinTreeTopology::route(std::uint32_t src, std::uint32_t dst,
+                             Path& path) const {
+  route_impl(src, dst, path, nullptr);
+}
+
+void ThinTreeTopology::route_adaptive(std::uint32_t src, std::uint32_t dst,
+                                      Path& path,
+                                      const LinkLoads& loads) const {
+  route_impl(src, dst, path, &loads);
+}
+
+std::uint32_t ThinTreeTopology::route_distance(std::uint32_t src,
+                                               std::uint32_t dst) const {
+  if (src == dst) return 0;
+  std::uint32_t m = params_.levels;
+  while (m > 1 && leaf_digit(src, m) == leaf_digit(dst, m)) --m;
+  return 2 * m;
+}
+
+std::string ThinTreeTopology::name() const {
+  std::ostringstream out;
+  out << "ThinTree(" << params_.k << ":" << params_.k_up << "-ary "
+      << params_.levels << "-tree)";
+  return out.str();
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+ThinTreeTopology::adversarial_pairs() const {
+  return {{0u, num_endpoints() - 1}};
+}
+
+}  // namespace nestflow

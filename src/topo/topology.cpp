@@ -1,0 +1,45 @@
+#include "topo/topology.hpp"
+
+#include <stdexcept>
+
+namespace nestflow {
+
+std::uint32_t Topology::route_length(std::uint32_t src,
+                                     std::uint32_t dst) const {
+  Path path;
+  route(src, dst, path);
+  return path.hops();
+}
+
+void Topology::adopt_graph(Graph graph) {
+  // Endpoint-index == node-id invariant: all endpoints precede all switches.
+  for (NodeId n = 0; n < graph.num_endpoints(); ++n) {
+    if (graph.node_kind(n) != NodeKind::kEndpoint) {
+      throw std::logic_error("Topology: endpoints must be numbered first");
+    }
+  }
+  graph_ = std::move(graph);
+}
+
+void Topology::append_hop(NodeId from, NodeId to, Path& path) const {
+  const LinkId l = graph_.find_link(from, to);
+  if (l == kInvalidLink) {
+    throw std::logic_error("Topology: routing requested missing link " +
+                           std::to_string(from) + " -> " + std::to_string(to));
+  }
+  path.links.push_back(l);
+}
+
+std::uint64_t dims_product(const std::vector<std::uint32_t>& dims) {
+  std::uint64_t product = 1;
+  for (const auto d : dims) {
+    if (d == 0) throw std::invalid_argument("dimension of size 0");
+    product *= d;
+    if (product > (1ull << 32)) {
+      throw std::invalid_argument("dimension product exceeds 2^32 nodes");
+    }
+  }
+  return product;
+}
+
+}  // namespace nestflow

@@ -1,0 +1,135 @@
+// Topology abstraction.
+//
+// A Topology owns an immutable Graph plus a deterministic routing function
+// between endpoint indices. All topologies in this library construct their
+// endpoints first, so endpoint index i is always node id i; switches follow.
+//
+// Routing contract: route(src, dst, path) overwrites `path` with the transit
+// links (in traversal order) from endpoint src to endpoint dst. NIC
+// (injection/consumption) links are NOT included — the flow engine adds
+// those itself. src == dst yields an empty path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace nestflow {
+
+/// A route through the network: transit link ids in traversal order.
+/// Reused across route() calls to avoid per-flow allocation.
+struct Path {
+  std::vector<LinkId> links;
+
+  void clear() noexcept { links.clear(); }
+  [[nodiscard]] std::uint32_t hops() const noexcept {
+    return static_cast<std::uint32_t>(links.size());
+  }
+};
+
+/// Default link bandwidth: the paper's QFDBs expose 10 Gb/s transceivers
+/// and all links in the study are 10 Gb/s. Expressed in bytes/second.
+inline constexpr double kDefaultLinkBps = 10e9 / 8.0;
+
+/// Read-only view of current per-link occupancy (active flow counts) and
+/// effective capacity, supplied by the flow engine to load-adaptive routing
+/// functions. Adaptive choices rank candidates by expected congestion
+/// cost = (flows + 1) / capacity, which both balances load and steers
+/// around degraded (fault-injected) links.
+class LinkLoads {
+ public:
+  LinkLoads(std::span<const std::uint32_t> active_counts,
+            std::span<const double> capacities) noexcept
+      : counts_(active_counts), capacities_(capacities) {}
+
+  [[nodiscard]] std::uint32_t count(LinkId l) const noexcept {
+    return l < counts_.size() ? counts_[l] : 0;
+  }
+  /// Congestion cost of adding one more flow; lower is better.
+  [[nodiscard]] double cost(LinkId l) const noexcept {
+    const double capacity =
+        l < capacities_.size() && capacities_[l] > 0.0 ? capacities_[l] : 1.0;
+    return static_cast<double>(count(l) + 1) / capacity;
+  }
+
+ private:
+  std::span<const std::uint32_t> counts_;
+  std::span<const double> capacities_;
+};
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] std::uint32_t num_endpoints() const noexcept {
+    return graph_.num_endpoints();
+  }
+  /// Endpoint index -> node id. Identity by construction invariant.
+  [[nodiscard]] NodeId endpoint_node(std::uint32_t endpoint) const noexcept {
+    return endpoint;
+  }
+
+  /// Computes the deterministic route between two endpoint indices.
+  virtual void route(std::uint32_t src, std::uint32_t dst, Path& path) const = 0;
+
+  /// Load-adaptive variant used by the flow engine at flow-activation time:
+  /// topologies with path diversity (the fat-tree's up-port choices — the
+  /// flow-level analogue of the ECMP/adaptive routing deployed on real
+  /// non-blocking fat-trees) pick the least-loaded candidate; everything
+  /// else falls back to the deterministic route. Hop count is always
+  /// identical to route()'s (minimal paths only).
+  virtual void route_adaptive(std::uint32_t src, std::uint32_t dst,
+                              Path& path, const LinkLoads& loads) const {
+    (void)loads;
+    route(src, dst, path);
+  }
+
+  /// Hop count of route(src, dst) without exposing the path buffer.
+  [[nodiscard]] std::uint32_t route_length(std::uint32_t src,
+                                           std::uint32_t dst) const;
+
+  /// Hop count of the deterministic route, overridable with a closed-form
+  /// computation (all concrete topologies do) so distance sweeps over
+  /// millions of pairs never materialise paths. Must equal route_length().
+  [[nodiscard]] virtual std::uint32_t route_distance(std::uint32_t src,
+                                                     std::uint32_t dst) const {
+    return route_length(src, dst);
+  }
+
+  /// Short human-readable identifier, e.g. "NestTree(t=2,u=4)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Endpoint pairs likely to attain the routed diameter; folded into the
+  /// sampled diameter estimate so regular structure can't hide the worst
+  /// case from random sampling.
+  [[nodiscard]] virtual std::vector<std::pair<std::uint32_t, std::uint32_t>>
+  adversarial_pairs() const {
+    return {};
+  }
+
+ protected:
+  Topology() = default;
+
+  /// Called once by each concrete constructor after building the graph.
+  /// Enforces the endpoints-first node numbering invariant.
+  void adopt_graph(Graph graph);
+
+  /// Walks one hop from `from` to `to`, appending the connecting link.
+  /// Throws std::logic_error if no such transit link exists (wiring bug).
+  void append_hop(NodeId from, NodeId to, Path& path) const;
+
+  Graph graph_;
+};
+
+/// Product of a dimension vector as 64-bit to catch overflow before casting.
+[[nodiscard]] std::uint64_t dims_product(const std::vector<std::uint32_t>& dims);
+
+}  // namespace nestflow

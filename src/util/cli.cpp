@@ -1,0 +1,149 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace nestflow {
+
+CliParser::CliParser(std::string program_name, std::string description)
+    : program_name_(std::move(program_name)),
+      description_(std::move(description)) {}
+
+void CliParser::add_option(std::string name, std::string help,
+                           std::optional<std::string> default_value) {
+  options_.emplace(std::move(name),
+                   Option{std::move(help), std::move(default_value), false});
+}
+
+void CliParser::add_flag(std::string name, std::string help) {
+  options_.emplace(std::move(name),
+                   Option{std::move(help), std::string("false"), true});
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (!arg.starts_with("--")) {
+      error_ = "unexpected positional argument: " + std::string(arg);
+      std::fputs((error_ + "\n" + usage()).c_str(), stderr);
+      return false;
+    }
+    arg.remove_prefix(2);
+    std::string key;
+    std::optional<std::string> inline_value;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      key = std::string(arg.substr(0, eq));
+      inline_value = std::string(arg.substr(eq + 1));
+    } else {
+      key = std::string(arg);
+    }
+    const auto it = options_.find(key);
+    if (it == options_.end()) {
+      error_ = "unknown option: --" + key;
+      std::fputs((error_ + "\n" + usage()).c_str(), stderr);
+      return false;
+    }
+    if (it->second.is_flag) {
+      values_[key] = inline_value.value_or("true");
+    } else if (inline_value) {
+      values_[key] = *inline_value;
+    } else if (i + 1 < argc) {
+      values_[key] = argv[++i];
+    } else {
+      error_ = "option --" + key + " requires a value";
+      std::fputs((error_ + "\n" + usage()).c_str(), stderr);
+      return false;
+    }
+  }
+  // Check required options.
+  for (const auto& [name, opt] : options_) {
+    if (!opt.default_value && !values_.contains(name)) {
+      error_ = "missing required option: --" + name;
+      std::fputs((error_ + "\n" + usage()).c_str(), stderr);
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream out;
+  out << program_name_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& [name, opt] : options_) {
+    out << "  --" << name;
+    if (!opt.is_flag) {
+      out << " <value>";
+      if (opt.default_value) out << " (default: " << *opt.default_value << ")";
+    }
+    out << "\n      " << opt.help << "\n";
+  }
+  out << "  --help\n      show this message\n";
+  return out.str();
+}
+
+const CliParser::Option& CliParser::find(std::string_view name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) {
+    throw std::logic_error("undeclared option queried: " + std::string(name));
+  }
+  return it->second;
+}
+
+std::optional<std::string> CliParser::value_of(std::string_view name) const {
+  const Option& opt = find(name);
+  if (const auto it = values_.find(name); it != values_.end()) {
+    return it->second;
+  }
+  return opt.default_value;
+}
+
+bool CliParser::has(std::string_view name) const {
+  return values_.contains(name);
+}
+
+std::string CliParser::get_string(std::string_view name) const {
+  const auto v = value_of(name);
+  if (!v) throw std::logic_error("option has no value: " + std::string(name));
+  return *v;
+}
+
+std::int64_t CliParser::get_int(std::string_view name) const {
+  return std::stoll(get_string(name));
+}
+
+std::uint64_t CliParser::get_uint(std::string_view name) const {
+  return std::stoull(get_string(name));
+}
+
+double CliParser::get_double(std::string_view name) const {
+  return std::stod(get_string(name));
+}
+
+bool CliParser::get_bool(std::string_view name) const {
+  const std::string v = get_string(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::vector<std::int64_t> CliParser::get_int_list(std::string_view name) const {
+  std::vector<std::int64_t> out;
+  for (const auto& tok : get_string_list(name)) out.push_back(std::stoll(tok));
+  return out;
+}
+
+std::vector<std::string> CliParser::get_string_list(
+    std::string_view name) const {
+  std::vector<std::string> out;
+  std::istringstream in(get_string(name));
+  std::string tok;
+  while (std::getline(in, tok, ',')) {
+    if (!tok.empty()) out.push_back(tok);
+  }
+  return out;
+}
+
+}  // namespace nestflow

@@ -1,0 +1,68 @@
+// Minimal declarative command-line parser used by the examples and benches.
+//
+// Supports `--key value`, `--key=value` and boolean `--flag` forms, typed
+// accessors with defaults, and generates a usage string. Unknown arguments
+// are an error so typos in sweep scripts fail loudly instead of silently
+// running the default experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nestflow {
+
+class CliParser {
+ public:
+  /// program_name and description feed the usage text.
+  CliParser(std::string program_name, std::string description);
+
+  /// Declares an option. Every option must be declared before parse().
+  /// `help` is shown in usage; `default_value` is the textual default
+  /// (empty optional = required for value options, "false" for flags).
+  void add_option(std::string name, std::string help,
+                  std::optional<std::string> default_value);
+  void add_flag(std::string name, std::string help);
+
+  /// Parses argv. Returns false (after printing usage) on --help or error.
+  /// On error, `error()` holds a message.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  [[nodiscard]] std::string usage() const;
+
+  [[nodiscard]] bool has(std::string_view name) const;
+  [[nodiscard]] std::string get_string(std::string_view name) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name) const;
+  [[nodiscard]] std::uint64_t get_uint(std::string_view name) const;
+  [[nodiscard]] double get_double(std::string_view name) const;
+  [[nodiscard]] bool get_bool(std::string_view name) const;
+
+  /// Comma-separated list of integers, e.g. "2,4,8".
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      std::string_view name) const;
+  /// Comma-separated list of strings.
+  [[nodiscard]] std::vector<std::string> get_string_list(
+      std::string_view name) const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::optional<std::string> default_value;
+    bool is_flag = false;
+  };
+
+  const Option& find(std::string_view name) const;
+  std::optional<std::string> value_of(std::string_view name) const;
+
+  std::string program_name_;
+  std::string description_;
+  std::string error_;
+  std::map<std::string, Option, std::less<>> options_;
+  std::map<std::string, std::string, std::less<>> values_;
+};
+
+}  // namespace nestflow

@@ -1,0 +1,122 @@
+#include "util/csv.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nestflow {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("Table row width " +
+                                std::to_string(row.size()) +
+                                " != header width " +
+                                std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+
+void write_csv_cell(std::ostream& out, const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    out << cell;
+    return;
+  }
+  out << '"';
+  for (const char c : cell) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void Table::write_csv(std::ostream& out) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) out << ',';
+    write_csv_cell(out, header_[i]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      write_csv_cell(out, row[i]);
+    }
+    out << '\n';
+  }
+}
+
+void Table::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_csv(out);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+void Table::write_text(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << "  ";
+      out << row[i];
+      if (i + 1 < row.size()) {
+        out << std::string(widths[i] - row[i].size(), ' ');
+      }
+    }
+    out << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Table::to_text() const {
+  std::ostringstream out;
+  write_text(out);
+  return out.str();
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_percent(double fraction, int decimals) {
+  return format_fixed(fraction * 100.0, decimals) + "%";
+}
+
+std::string format_bytes(double bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  return format_fixed(bytes, bytes < 10 ? 2 : 1) + " " + kUnits[unit];
+}
+
+std::string format_time(double seconds) {
+  if (!std::isfinite(seconds)) return "inf";
+  if (seconds < 1e-6) return format_fixed(seconds * 1e9, 1) + " ns";
+  if (seconds < 1e-3) return format_fixed(seconds * 1e6, 1) + " us";
+  if (seconds < 1.0) return format_fixed(seconds * 1e3, 2) + " ms";
+  return format_fixed(seconds, 3) + " s";
+}
+
+}  // namespace nestflow

@@ -1,0 +1,53 @@
+// Tabular output helpers: CSV files for post-processing and aligned text
+// tables for terminal output. Every bench binary emits both so the paper
+// tables/figures can be regenerated as data (CSV) and read directly (text).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nestflow {
+
+/// Accumulates rows of string cells and renders them as CSV or as an
+/// aligned, padded text table. Cell values are stored verbatim; numeric
+/// formatting is the caller's job (see format_*() helpers below).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; its size must match the header.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
+  /// RFC-4180-ish CSV: cells containing comma/quote/newline are quoted.
+  void write_csv(std::ostream& out) const;
+  /// Writes CSV to a file path; throws std::runtime_error on I/O failure.
+  void save_csv(const std::string& path) const;
+  /// Right-padded text rendering with a header separator line.
+  void write_text(std::ostream& out) const;
+  [[nodiscard]] std::string to_text() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision decimal, e.g. format_fixed(3.14159, 2) == "3.14".
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+/// Percentage with fixed decimals, e.g. format_percent(0.0527, 2) == "5.27%".
+[[nodiscard]] std::string format_percent(double fraction, int decimals);
+/// Engineering notation for byte counts, e.g. "1.5 MiB".
+[[nodiscard]] std::string format_bytes(double bytes);
+/// Seconds with an auto-selected unit (ns/us/ms/s).
+[[nodiscard]] std::string format_time(double seconds);
+
+}  // namespace nestflow

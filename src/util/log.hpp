@@ -1,0 +1,52 @@
+// Leveled stderr logging with a global threshold. Kept deliberately small:
+// benches use info() for progress, the engine uses debug() behind the
+// threshold so hot loops pay only a branch when logging is off.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace nestflow {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded. Thread-safe to set at
+/// start-up; concurrent message emission is atomic per line.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-sensitive);
+/// unknown strings map to kInfo.
+[[nodiscard]] LogLevel parse_log_level(std::string_view name) noexcept;
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+template <typename... Args>
+void log_at(LogLevel level, Args&&... args) {
+  if (level < log_level()) return;
+  std::ostringstream out;
+  (out << ... << std::forward<Args>(args));
+  detail::emit(level, out.str());
+}
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  log_at(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  log_at(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  log_at(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  log_at(LogLevel::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace nestflow

@@ -1,0 +1,88 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All stochastic behaviour in nestflow (workload generation, sampling,
+// placement) flows through Prng so that a (seed, stream) pair fully
+// determines every experiment, including experiments fanned out across the
+// thread pool. The generator is xoshiro256** (Blackman & Vigna), seeded via
+// splitmix64, which is both fast and statistically strong enough for
+// simulation workloads.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace nestflow {
+
+/// splitmix64 step: used for seeding and for cheap stateless hashing of
+/// (seed, stream) pairs into independent generator states.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless 64-bit mix of two values; used to derive independent
+/// sub-streams (e.g. one per simulated task) from a master seed.
+[[nodiscard]] std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator so it can be
+/// plugged into <random> distributions, though nestflow mostly uses the
+/// bias-free helpers below.
+class Prng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via splitmix64.
+  explicit Prng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Derives an independent stream: equivalent to Prng(hash(seed, stream)).
+  Prng(std::uint64_t seed, std::uint64_t stream) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  /// bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// true with probability p (clamped to [0,1]).
+  bool next_bool(double p) noexcept;
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double next_exponential(double mean) noexcept;
+
+  /// Pareto(shape alpha > 0, minimum xm > 0): heavy-tailed sizes used by the
+  /// UnstructuredMgnt workload's datacenter-like message-size distribution.
+  double next_pareto(double alpha, double xm) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> values) noexcept {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// k distinct values sampled uniformly from [0, n); k <= n.
+  /// O(k) time and memory (Floyd's algorithm); result order is unspecified
+  /// but deterministic.
+  [[nodiscard]] std::vector<std::uint64_t> sample_without_replacement(
+      std::uint64_t n, std::uint64_t k);
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace nestflow

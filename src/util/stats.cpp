@@ -1,0 +1,98 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nestflow {
+
+void RunningStats::add(double x) noexcept {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+Histogram::Histogram(std::size_t num_bins) : bins_(num_bins, 0) {
+  if (num_bins == 0) throw std::invalid_argument("Histogram needs >= 1 bin");
+}
+
+void Histogram::add(std::size_t value, std::uint64_t weight) noexcept {
+  const std::size_t i = std::min(value, bins_.size() - 1);
+  bins_[i] += weight;
+  total_ += weight;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.bins_.size() != bins_.size()) {
+    throw std::invalid_argument("Histogram::merge: bin count mismatch");
+  }
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  total_ += other.total_;
+}
+
+double Histogram::mean() const noexcept {
+  if (total_ == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    sum += static_cast<double>(i) * static_cast<double>(bins_[i]);
+  }
+  return sum / static_cast<double>(total_);
+}
+
+std::size_t Histogram::max_value() const noexcept {
+  for (std::size_t i = bins_.size(); i-- > 0;) {
+    if (bins_[i] != 0) return i;
+  }
+  return 0;
+}
+
+std::size_t Histogram::quantile(double q) const noexcept {
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    seen += bins_[i];
+    if (seen >= target) return i;
+  }
+  return max_value();
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("percentile of empty set");
+  q = std::clamp(q, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(idx),
+                   values.end());
+  return values[idx];
+}
+
+}  // namespace nestflow

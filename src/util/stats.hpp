@@ -1,0 +1,62 @@
+// Streaming and batch summary statistics used by the distance metrics and
+// the flow-engine instrumentation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace nestflow {
+
+/// Welford's online algorithm: numerically stable running mean/variance with
+/// min/max tracking. O(1) memory, suitable for the hundreds of millions of
+/// sampled path lengths in full-scale distance sweeps.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Dense integer histogram over [0, size); used for hop-count distributions.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t num_bins);
+
+  /// Adds an observation; values >= num_bins are clamped into the last bin.
+  void add(std::size_t value, std::uint64_t weight = 1) noexcept;
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::size_t num_bins() const noexcept { return bins_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return bins_.at(i); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double mean() const noexcept;
+  /// Largest non-empty bin index, or 0 if empty.
+  [[nodiscard]] std::size_t max_value() const noexcept;
+  /// Value v such that a fraction q of the mass lies at or below v.
+  [[nodiscard]] std::size_t quantile(double q) const noexcept;
+
+ private:
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact percentile of a batch (copies and partially sorts). q in [0, 1].
+[[nodiscard]] double percentile(std::vector<double> values, double q);
+
+}  // namespace nestflow

@@ -1,0 +1,46 @@
+#include "workloads/bisection.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace nestflow {
+
+BisectionWorkload::BisectionWorkload() : BisectionWorkload(Params{}) {}
+BisectionWorkload::BisectionWorkload(Params params) : params_(params) {}
+
+TrafficProgram BisectionWorkload::generate(
+    const WorkloadContext& context) const {
+  const std::uint32_t n = context.num_tasks;
+  if (n < 2 || n % 2 != 0) {
+    throw std::invalid_argument("Bisection: need an even task count >= 2");
+  }
+  if (params_.rounds == 0) {
+    throw std::invalid_argument("Bisection: need >= 1 round");
+  }
+  Prng prng(context.seed, /*stream=*/0xb15ec);
+
+  TrafficProgram program;
+  program.reserve(static_cast<std::size_t>(n) * params_.rounds +
+                      params_.rounds,
+                  static_cast<std::size_t>(n) * params_.rounds * 2);
+  std::vector<std::uint32_t> permutation(n);
+  std::iota(permutation.begin(), permutation.end(), 0u);
+
+  std::vector<FlowIndex> previous;
+  std::vector<FlowIndex> current;
+  for (std::uint32_t round = 0; round < params_.rounds; ++round) {
+    prng.shuffle(std::span<std::uint32_t>(permutation));
+    current.clear();
+    for (std::uint32_t k = 0; k < n; k += 2) {
+      const std::uint32_t a = permutation[k];
+      const std::uint32_t b = permutation[k + 1];
+      current.push_back(program.add_flow(a, b, params_.message_bytes));
+      current.push_back(program.add_flow(b, a, params_.message_bytes));
+    }
+    if (round > 0) program.add_barrier(previous, current);
+    previous = current;
+  }
+  return program;
+}
+
+}  // namespace nestflow

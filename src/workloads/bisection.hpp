@@ -1,0 +1,31 @@
+// Bisection workload (§4.1): every round draws a fresh random perfect
+// matching of the tasks and each pair exchanges a message in both
+// directions; rounds are barrier-separated. Sustained random permutation
+// traffic is the classic bisection-bandwidth stress — the workload where
+// the paper found the fat-tree upper tier clearly ahead of the GHC.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace nestflow {
+
+class BisectionWorkload final : public Workload {
+ public:
+  struct Params {
+    double message_bytes = 256.0 * 1024;
+    std::uint32_t rounds = 4;
+  };
+  BisectionWorkload();  // default parameters
+  explicit BisectionWorkload(Params params);
+
+  [[nodiscard]] std::string name() const override { return "Bisection"; }
+  [[nodiscard]] bool is_heavy() const override { return true; }
+  /// Requires an even task count.
+  [[nodiscard]] TrafficProgram generate(
+      const WorkloadContext& context) const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace nestflow

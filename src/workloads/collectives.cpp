@@ -1,0 +1,92 @@
+#include "workloads/collectives.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace nestflow {
+
+ReduceWorkload::ReduceWorkload() : ReduceWorkload(Params{}) {}
+ReduceWorkload::ReduceWorkload(Params params) : params_(params) {}
+
+AllReduceWorkload::AllReduceWorkload() : AllReduceWorkload(Params{}) {}
+AllReduceWorkload::AllReduceWorkload(Params params) : params_(params) {}
+
+TrafficProgram ReduceWorkload::generate(const WorkloadContext& context) const {
+  const std::uint32_t n = context.num_tasks;
+  if (n < 2) throw std::invalid_argument("Reduce: need >= 2 tasks");
+  if (params_.root >= n) throw std::invalid_argument("Reduce: root >= tasks");
+  TrafficProgram program;
+  program.reserve(n - 1, 0);
+  for (std::uint32_t task = 0; task < n; ++task) {
+    if (task == params_.root) continue;
+    program.add_flow(task, params_.root, params_.message_bytes);
+  }
+  return program;
+}
+
+BinomialReduceWorkload::BinomialReduceWorkload()
+    : BinomialReduceWorkload(Params{}) {}
+BinomialReduceWorkload::BinomialReduceWorkload(Params params)
+    : params_(params) {}
+
+TrafficProgram BinomialReduceWorkload::generate(
+    const WorkloadContext& context) const {
+  const std::uint32_t n = context.num_tasks;
+  if (n < 2 || !std::has_single_bit(n)) {
+    throw std::invalid_argument(
+        "BinomialReduce: binomial tree needs a power-of-two task count");
+  }
+  const auto steps = static_cast<std::uint32_t>(std::countr_zero(n));
+  TrafficProgram program;
+  // Round k: ranks with bit k set (and all lower bits clear) send their
+  // partial result to rank - 2^k. A rank's send waits for every receive it
+  // performed in earlier rounds.
+  std::vector<FlowIndex> last_receive(n, kInvalidFlow);
+  for (std::uint32_t step = 0; step < steps; ++step) {
+    const std::uint32_t bit = 1u << step;
+    for (std::uint32_t task = bit; task < n; task += 2 * bit) {
+      // task has exactly the pattern (..., step-th bit set, lower clear).
+      const std::uint32_t parent = task - bit;
+      const FlowIndex f =
+          program.add_flow(task, parent, params_.message_bytes);
+      if (last_receive[task] != kInvalidFlow) {
+        program.add_dependency(last_receive[task], f);
+      }
+      if (last_receive[parent] != kInvalidFlow) {
+        // Parent combines in arrival order.
+        program.add_dependency(last_receive[parent], f);
+      }
+      last_receive[parent] = f;
+    }
+  }
+  return program;
+}
+
+TrafficProgram AllReduceWorkload::generate(
+    const WorkloadContext& context) const {
+  const std::uint32_t n = context.num_tasks;
+  if (n < 2 || !std::has_single_bit(n)) {
+    throw std::invalid_argument(
+        "AllReduce: recursive doubling needs a power-of-two task count");
+  }
+  const auto steps = static_cast<std::uint32_t>(std::countr_zero(n));
+  TrafficProgram program;
+  program.reserve(static_cast<std::size_t>(steps) * n + steps,
+                  static_cast<std::size_t>(steps) * n * 2);
+
+  std::vector<FlowIndex> previous;
+  std::vector<FlowIndex> current;
+  for (std::uint32_t step = 0; step < steps; ++step) {
+    current.clear();
+    for (std::uint32_t task = 0; task < n; ++task) {
+      const std::uint32_t partner = task ^ (1u << step);
+      current.push_back(program.add_flow(task, partner,
+                                         params_.message_bytes));
+    }
+    if (step > 0) program.add_barrier(previous, current);
+    previous = current;
+  }
+  return program;
+}
+
+}  // namespace nestflow

@@ -1,0 +1,75 @@
+// Collective-operation workloads (§4.1):
+//
+//  * Reduce — deliberately *non-optimised* N-to-1: every task sends its
+//    contribution straight to the root, creating the pathological hot-spot
+//    the paper uses to show consumption-port serialisation.
+//  * AllReduce — optimised logarithmic implementation (recursive doubling,
+//    à la Thakur & Gropp): log2(N) phases of pairwise exchanges with a
+//    barrier between phases.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace nestflow {
+
+class ReduceWorkload final : public Workload {
+ public:
+  struct Params {
+    double message_bytes = 64.0 * 1024;
+    std::uint32_t root = 0;
+  };
+  ReduceWorkload();  // default parameters
+  explicit ReduceWorkload(Params params);
+
+  [[nodiscard]] std::string name() const override { return "Reduce"; }
+  [[nodiscard]] bool is_heavy() const override { return false; }
+  [[nodiscard]] TrafficProgram generate(
+      const WorkloadContext& context) const override;
+
+ private:
+  Params params_;
+};
+
+/// The *optimised* logarithmic Reduce the paper contrasts its pathological
+/// N-to-1 variant against ("an optimized, logarithmic implementation would
+/// be preferred in a real system", §4.1): a binomial tree of log2(N)
+/// rounds, each task sending at most once, partial results combining on
+/// the way to the root. Unlike the naive Reduce, this one *is* sensitive
+/// to the topology — an extension experiment, not part of Figs. 4-5.
+class BinomialReduceWorkload final : public Workload {
+ public:
+  struct Params {
+    double message_bytes = 64.0 * 1024;
+  };
+  BinomialReduceWorkload();  // default parameters
+  explicit BinomialReduceWorkload(Params params);
+
+  [[nodiscard]] std::string name() const override { return "BinomialReduce"; }
+  [[nodiscard]] bool is_heavy() const override { return false; }
+  /// Requires num_tasks to be a power of two >= 2; root is rank 0.
+  [[nodiscard]] TrafficProgram generate(
+      const WorkloadContext& context) const override;
+
+ private:
+  Params params_;
+};
+
+class AllReduceWorkload final : public Workload {
+ public:
+  struct Params {
+    double message_bytes = 64.0 * 1024;
+  };
+  AllReduceWorkload();  // default parameters
+  explicit AllReduceWorkload(Params params);
+
+  [[nodiscard]] std::string name() const override { return "AllReduce"; }
+  [[nodiscard]] bool is_heavy() const override { return true; }
+  /// Requires num_tasks to be a power of two >= 2.
+  [[nodiscard]] TrafficProgram generate(
+      const WorkloadContext& context) const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace nestflow

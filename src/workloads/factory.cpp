@@ -1,0 +1,186 @@
+#include "workloads/factory.hpp"
+
+#include <stdexcept>
+
+#include "workloads/bisection.hpp"
+#include "workloads/collectives.hpp"
+#include "workloads/injection.hpp"
+#include "workloads/mapreduce.hpp"
+#include "workloads/nbodies.hpp"
+#include "workloads/stencil.hpp"
+#include "workloads/unstructured.hpp"
+#include "workloads/wavefront.hpp"
+
+namespace nestflow {
+
+void WorkloadParams::set(std::string key, std::string value) {
+  values_[std::move(key)] = std::move(value);
+}
+
+double WorkloadParams::get_double(std::string_view key, double fallback) {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const double value = std::stod(it->second);
+  values_.erase(it);
+  return value;
+}
+
+std::uint32_t WorkloadParams::get_uint(std::string_view key,
+                                       std::uint32_t fallback) {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const auto value = static_cast<std::uint32_t>(std::stoul(it->second));
+  values_.erase(it);
+  return value;
+}
+
+void WorkloadParams::finish(std::string_view workload_name) const {
+  if (!values_.empty()) {
+    throw std::invalid_argument("workload " + std::string(workload_name) +
+                                ": unknown parameter '" +
+                                values_.begin()->first + "'");
+  }
+}
+
+namespace {
+
+/// Dispatches on the canonical name, consuming recognised keys from
+/// `params`. Every workload documents its keys here in one place.
+std::unique_ptr<Workload> build(std::string_view name,
+                                WorkloadParams& params) {
+  if (name == "reduce") {
+    ReduceWorkload::Params p;
+    p.message_bytes = params.get_double("bytes", p.message_bytes);
+    p.root = params.get_uint("root", p.root);
+    return std::make_unique<ReduceWorkload>(p);
+  }
+  if (name == "binomial-reduce") {
+    BinomialReduceWorkload::Params p;
+    p.message_bytes = params.get_double("bytes", p.message_bytes);
+    return std::make_unique<BinomialReduceWorkload>(p);
+  }
+  if (name == "allreduce") {
+    AllReduceWorkload::Params p;
+    p.message_bytes = params.get_double("bytes", p.message_bytes);
+    return std::make_unique<AllReduceWorkload>(p);
+  }
+  if (name == "mapreduce") {
+    MapReduceWorkload::Params p;
+    p.scatter_bytes = params.get_double("scatter", p.scatter_bytes);
+    p.shuffle_bytes = params.get_double("shuffle", p.shuffle_bytes);
+    p.gather_bytes = params.get_double("gather", p.gather_bytes);
+    p.root = params.get_uint("root", p.root);
+    return std::make_unique<MapReduceWorkload>(p);
+  }
+  if (name == "sweep3d") {
+    Sweep3DWorkload::Params p;
+    p.message_bytes = params.get_double("bytes", p.message_bytes);
+    return std::make_unique<Sweep3DWorkload>(p);
+  }
+  if (name == "flood") {
+    FloodWorkload::Params p;
+    p.message_bytes = params.get_double("bytes", p.message_bytes);
+    p.num_waves = params.get_uint("waves", p.num_waves);
+    return std::make_unique<FloodWorkload>(p);
+  }
+  if (name == "nearneighbors") {
+    NearNeighborsWorkload::Params p;
+    p.message_bytes = params.get_double("bytes", p.message_bytes);
+    p.iterations = params.get_uint("iters", p.iterations);
+    return std::make_unique<NearNeighborsWorkload>(p);
+  }
+  if (name == "nbodies") {
+    NBodiesWorkload::Params p;
+    p.message_bytes = params.get_double("bytes", p.message_bytes);
+    return std::make_unique<NBodiesWorkload>(p);
+  }
+  if (name == "unstructured-app") {
+    UnstructuredAppWorkload::Params p;
+    p.message_bytes = params.get_double("bytes", p.message_bytes);
+    p.messages_per_task = params.get_uint("messages", p.messages_per_task);
+    return std::make_unique<UnstructuredAppWorkload>(p);
+  }
+  if (name == "unstructured-mgnt") {
+    UnstructuredMgntWorkload::Params p;
+    p.tasks_per_chain = params.get_uint("tasks-per-chain", p.tasks_per_chain);
+    p.chain_length = params.get_uint("chain-length", p.chain_length);
+    p.pareto_shape = params.get_double("shape", p.pareto_shape);
+    p.pareto_scale_bytes = params.get_double("scale", p.pareto_scale_bytes);
+    p.max_bytes = params.get_double("max-bytes", p.max_bytes);
+    return std::make_unique<UnstructuredMgntWorkload>(p);
+  }
+  if (name == "unstructured-hr") {
+    UnstructuredHRWorkload::Params p;
+    p.message_bytes = params.get_double("bytes", p.message_bytes);
+    p.messages_per_task = params.get_uint("messages", p.messages_per_task);
+    p.hot_fraction = params.get_double("hot-fraction", p.hot_fraction);
+    p.hot_probability = params.get_double("hot-prob", p.hot_probability);
+    return std::make_unique<UnstructuredHRWorkload>(p);
+  }
+  if (name == "bisection") {
+    BisectionWorkload::Params p;
+    p.message_bytes = params.get_double("bytes", p.message_bytes);
+    p.rounds = params.get_uint("rounds", p.rounds);
+    return std::make_unique<BisectionWorkload>(p);
+  }
+  if (name == "uniform-injection") {
+    UniformInjectionWorkload::Params p;
+    p.offered_load = params.get_double("load", p.offered_load);
+    p.message_bytes = params.get_double("bytes", p.message_bytes);
+    p.duration_seconds = params.get_double("duration", p.duration_seconds);
+    return std::make_unique<UniformInjectionWorkload>(p);
+  }
+  throw std::invalid_argument("unknown workload: " + std::string(name));
+}
+
+}  // namespace
+
+std::unique_ptr<Workload> make_workload(std::string_view spec) {
+  std::string_view name = spec;
+  WorkloadParams params;
+  if (const auto colon = spec.find(':'); colon != std::string_view::npos) {
+    name = spec.substr(0, colon);
+    std::string_view rest = spec.substr(colon + 1);
+    while (!rest.empty()) {
+      const auto comma = rest.find(',');
+      const std::string_view token = rest.substr(0, comma);
+      const auto eq = token.find('=');
+      if (eq == std::string_view::npos || eq == 0) {
+        throw std::invalid_argument("workload spec needs key=value, got '" +
+                                    std::string(token) + "'");
+      }
+      params.set(std::string(token.substr(0, eq)),
+                 std::string(token.substr(eq + 1)));
+      if (comma == std::string_view::npos) break;
+      rest.remove_prefix(comma + 1);
+    }
+  }
+  auto workload = build(name, params);
+  params.finish(name);
+  return workload;
+}
+
+const std::vector<std::string>& heavy_workload_names() {
+  static const std::vector<std::string> names = {
+      "unstructured-app", "unstructured-hr", "bisection",
+      "allreduce",        "nbodies",         "nearneighbors"};
+  return names;
+}
+
+const std::vector<std::string>& light_workload_names() {
+  static const std::vector<std::string> names = {
+      "unstructured-mgnt", "mapreduce", "reduce", "flood", "sweep3d"};
+  return names;
+}
+
+const std::vector<std::string>& all_workload_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> all = heavy_workload_names();
+    const auto& light = light_workload_names();
+    all.insert(all.end(), light.begin(), light.end());
+    return all;
+  }();
+  return names;
+}
+
+}  // namespace nestflow

@@ -1,0 +1,53 @@
+// By-name workload construction for the CLI tools and the experiment
+// driver, plus the paper's heavy/light catalogue order.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace nestflow {
+
+/// Key=value overrides parsed from a workload spec; unknown keys are an
+/// error so typos fail loudly.
+class WorkloadParams {
+ public:
+  void set(std::string key, std::string value);
+
+  /// Typed getters consume their key; `finish(name)` then rejects leftovers.
+  [[nodiscard]] double get_double(std::string_view key, double fallback);
+  [[nodiscard]] std::uint32_t get_uint(std::string_view key,
+                                       std::uint32_t fallback);
+  void finish(std::string_view workload_name) const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+};
+
+/// Creates a workload from a spec string: a canonical name, optionally
+/// followed by ':' and comma-separated parameter overrides, e.g.
+///   "allreduce"                      defaults
+///   "allreduce:bytes=1048576"        1 MiB messages
+///   "bisection:bytes=65536,rounds=8"
+///   "nearneighbors:iters=4"          four stencil iterations
+///   "uniform-injection:load=0.7,bytes=4096,duration=1e-3"
+///
+/// Canonical names (case-sensitive): "reduce", "allreduce", "mapreduce",
+/// "sweep3d", "flood", "nearneighbors", "nbodies", "unstructured-app",
+/// "unstructured-mgnt", "unstructured-hr", "bisection"; plus the
+/// extensions "binomial-reduce" and "uniform-injection" (not part of the
+/// paper's figure catalogue). Each workload's accepted keys are listed in
+/// its header. Throws std::invalid_argument for unknown names or keys.
+[[nodiscard]] std::unique_ptr<Workload> make_workload(std::string_view spec);
+
+/// All eleven canonical names, heavy ones first in the paper's Fig. 4
+/// panel order, then the light ones in Fig. 5 order.
+[[nodiscard]] const std::vector<std::string>& all_workload_names();
+[[nodiscard]] const std::vector<std::string>& heavy_workload_names();
+[[nodiscard]] const std::vector<std::string>& light_workload_names();
+
+}  // namespace nestflow

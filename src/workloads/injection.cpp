@@ -1,0 +1,45 @@
+#include "workloads/injection.hpp"
+
+#include <stdexcept>
+
+namespace nestflow {
+
+UniformInjectionWorkload::UniformInjectionWorkload()
+    : UniformInjectionWorkload(Params{}) {}
+UniformInjectionWorkload::UniformInjectionWorkload(Params params)
+    : params_(params) {}
+
+TrafficProgram UniformInjectionWorkload::generate(
+    const WorkloadContext& context) const {
+  const std::uint32_t n = context.num_tasks;
+  if (n < 2) throw std::invalid_argument("UniformInjection: need >= 2 tasks");
+  if (params_.offered_load <= 0.0 || params_.offered_load > 1.0) {
+    throw std::invalid_argument("UniformInjection: load must be in (0, 1]");
+  }
+  if (params_.duration_seconds <= 0.0 || params_.message_bytes <= 0.0 ||
+      params_.nic_bps <= 0.0) {
+    throw std::invalid_argument("UniformInjection: bad parameters");
+  }
+
+  // Poisson process per endpoint: mean inter-arrival = message time over
+  // the offered-load fraction.
+  const double mean_gap = params_.message_bytes /
+                          (params_.offered_load * params_.nic_bps);
+  TrafficProgram program;
+  const auto expected =
+      static_cast<std::size_t>(params_.duration_seconds / mean_gap + 1) * n;
+  program.reserve(expected, 0);
+  for (std::uint32_t task = 0; task < n; ++task) {
+    Prng prng(context.seed, /*stream=*/0x1417 + task);
+    double clock = prng.next_exponential(mean_gap);
+    while (clock < params_.duration_seconds) {
+      auto dst = static_cast<std::uint32_t>(prng.next_below(n - 1));
+      if (dst >= task) ++dst;
+      program.add_flow(task, dst, params_.message_bytes, clock);
+      clock += prng.next_exponential(mean_gap);
+    }
+  }
+  return program;
+}
+
+}  // namespace nestflow

@@ -1,0 +1,39 @@
+// Open-loop uniform-random injection — the classic interconnection-network
+// evaluation workload (latency vs offered load): every endpoint emits a
+// Poisson stream of fixed-size messages to uniformly random destinations
+// for a fixed duration. Unlike the paper's application models this is not
+// causally limited; combined with the engine's release-time support it
+// produces the textbook saturation curves (bench/ext_saturation).
+#pragma once
+
+#include "topo/topology.hpp"  // kDefaultLinkBps
+#include "workloads/workload.hpp"
+
+namespace nestflow {
+
+class UniformInjectionWorkload final : public Workload {
+ public:
+  struct Params {
+    /// Offered load per endpoint as a fraction of the NIC rate, in (0, 1].
+    double offered_load = 0.5;
+    double message_bytes = 16.0 * 1024;
+    /// Injection window; flows released after it are not generated.
+    double duration_seconds = 2e-3;
+    /// NIC rate used to convert offered load into message inter-arrivals.
+    double nic_bps = kDefaultLinkBps;
+  };
+  UniformInjectionWorkload();  // default parameters
+  explicit UniformInjectionWorkload(Params params);
+
+  [[nodiscard]] std::string name() const override {
+    return "UniformInjection";
+  }
+  [[nodiscard]] bool is_heavy() const override { return true; }
+  [[nodiscard]] TrafficProgram generate(
+      const WorkloadContext& context) const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace nestflow

@@ -1,0 +1,53 @@
+#include "workloads/mapreduce.hpp"
+
+#include <stdexcept>
+
+namespace nestflow {
+
+MapReduceWorkload::MapReduceWorkload() : MapReduceWorkload(Params{}) {}
+MapReduceWorkload::MapReduceWorkload(Params params) : params_(params) {}
+
+TrafficProgram MapReduceWorkload::generate(
+    const WorkloadContext& context) const {
+  const std::uint32_t n = context.num_tasks;
+  if (n < 2) throw std::invalid_argument("MapReduce: need >= 2 tasks");
+  if (params_.root >= n) throw std::invalid_argument("MapReduce: bad root");
+
+  TrafficProgram program;
+  const std::size_t shuffle_count =
+      static_cast<std::size_t>(n - 1) * (n - 2) + (n - 1);
+  program.reserve(2 * (n - 1) + shuffle_count + 2, 4 * shuffle_count);
+
+  std::vector<FlowIndex> scatter;
+  scatter.reserve(n - 1);
+  for (std::uint32_t task = 0; task < n; ++task) {
+    if (task == params_.root) continue;
+    scatter.push_back(program.add_flow(params_.root, task,
+                                       params_.scatter_bytes));
+  }
+
+  // Shuffle: every worker to every other worker (the root only partitions
+  // and gathers; it does not participate in the map phase).
+  std::vector<FlowIndex> shuffle;
+  shuffle.reserve(shuffle_count);
+  for (std::uint32_t a = 0; a < n; ++a) {
+    if (a == params_.root) continue;
+    for (std::uint32_t b = 0; b < n; ++b) {
+      if (b == a || b == params_.root) continue;
+      shuffle.push_back(program.add_flow(a, b, params_.shuffle_bytes));
+    }
+  }
+  program.add_barrier(scatter, shuffle);
+
+  std::vector<FlowIndex> gather;
+  gather.reserve(n - 1);
+  for (std::uint32_t task = 0; task < n; ++task) {
+    if (task == params_.root) continue;
+    gather.push_back(program.add_flow(task, params_.root,
+                                      params_.gather_bytes));
+  }
+  program.add_barrier(shuffle, gather);
+  return program;
+}
+
+}  // namespace nestflow

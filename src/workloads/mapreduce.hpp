@@ -1,0 +1,31 @@
+// MapReduce workload (§4.1): the root partitions and scatters the input to
+// all workers, the workers shuffle all-to-all, and results are gathered
+// back at the root — three phases separated by barriers. The root's NIC
+// serialises scatter and gather; the shuffle is the all-to-all stress.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace nestflow {
+
+class MapReduceWorkload final : public Workload {
+ public:
+  struct Params {
+    double scatter_bytes = 64.0 * 1024;  // root -> each worker
+    double shuffle_bytes = 16.0 * 1024;  // each worker -> each other worker
+    double gather_bytes = 64.0 * 1024;   // each worker -> root
+    std::uint32_t root = 0;
+  };
+  MapReduceWorkload();  // default parameters
+  explicit MapReduceWorkload(Params params);
+
+  [[nodiscard]] std::string name() const override { return "MapReduce"; }
+  [[nodiscard]] bool is_heavy() const override { return false; }
+  [[nodiscard]] TrafficProgram generate(
+      const WorkloadContext& context) const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace nestflow

@@ -1,0 +1,31 @@
+#include "workloads/nbodies.hpp"
+
+#include <stdexcept>
+
+namespace nestflow {
+
+NBodiesWorkload::NBodiesWorkload() : NBodiesWorkload(Params{}) {}
+NBodiesWorkload::NBodiesWorkload(Params params) : params_(params) {}
+
+TrafficProgram NBodiesWorkload::generate(const WorkloadContext& context) const {
+  const std::uint32_t n = context.num_tasks;
+  if (n < 2) throw std::invalid_argument("n-Bodies: need >= 2 tasks");
+  const std::uint32_t hops = n / 2;
+
+  TrafficProgram program;
+  program.reserve(static_cast<std::size_t>(n) * hops,
+                  static_cast<std::size_t>(n) * (hops - 1));
+  for (std::uint32_t start = 0; start < n; ++start) {
+    FlowIndex previous = kInvalidFlow;
+    for (std::uint32_t hop = 0; hop < hops; ++hop) {
+      const std::uint32_t src = (start + hop) % n;
+      const std::uint32_t dst = (start + hop + 1) % n;
+      const FlowIndex f = program.add_flow(src, dst, params_.message_bytes);
+      if (previous != kInvalidFlow) program.add_dependency(previous, f);
+      previous = f;
+    }
+  }
+  return program;
+}
+
+}  // namespace nestflow

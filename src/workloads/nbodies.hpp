@@ -1,0 +1,29 @@
+// n-Bodies workload (§4.1): tasks on a virtual ring; every task starts a
+// chain of messages that travels clockwise across half the ring (the
+// force-pipeline of classic O(N^2/2) n-body codes). All N chains are in
+// flight at once — with every node both sending and relaying, this is a
+// heavy workload despite each chain being serial.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace nestflow {
+
+class NBodiesWorkload final : public Workload {
+ public:
+  struct Params {
+    double message_bytes = 16.0 * 1024;
+  };
+  NBodiesWorkload();  // default parameters
+  explicit NBodiesWorkload(Params params);
+
+  [[nodiscard]] std::string name() const override { return "n-Bodies"; }
+  [[nodiscard]] bool is_heavy() const override { return true; }
+  [[nodiscard]] TrafficProgram generate(
+      const WorkloadContext& context) const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace nestflow

@@ -1,0 +1,50 @@
+#include "workloads/stencil.hpp"
+
+#include <stdexcept>
+
+#include "topo/torus.hpp"  // GridShape
+
+namespace nestflow {
+
+NearNeighborsWorkload::NearNeighborsWorkload() : NearNeighborsWorkload(Params{}) {}
+NearNeighborsWorkload::NearNeighborsWorkload(Params params) : params_(params) {}
+
+TrafficProgram NearNeighborsWorkload::generate(
+    const WorkloadContext& context) const {
+  if (context.num_tasks < 2) {
+    throw std::invalid_argument("NearNeighbors: need >= 2 tasks");
+  }
+  if (params_.iterations == 0) {
+    throw std::invalid_argument("NearNeighbors: need >= 1 iteration");
+  }
+  const GridShape grid(factor3(context.num_tasks));
+  TrafficProgram program;
+
+  std::vector<FlowIndex> previous;
+  std::vector<FlowIndex> current;
+  for (std::uint32_t iter = 0; iter < params_.iterations; ++iter) {
+    current.clear();
+    for (std::uint32_t task = 0; task < grid.size(); ++task) {
+      for (std::uint32_t dim = 0; dim < 3; ++dim) {
+        if (grid.dims()[dim] < 2) continue;
+        for (const int direction : {+1, -1}) {
+          if (!params_.periodic) {
+            const std::uint32_t c = grid.coord(task, dim);
+            if (direction == +1 && c + 1 >= grid.dims()[dim]) continue;
+            if (direction == -1 && c == 0) continue;
+          }
+          const std::uint32_t neighbor =
+              grid.wrap_neighbor(task, dim, direction);
+          if (neighbor == task) continue;  // dim of size 1 after wrap
+          current.push_back(
+              program.add_flow(task, neighbor, params_.message_bytes));
+        }
+      }
+    }
+    if (iter > 0) program.add_barrier(previous, current);
+    previous = current;
+  }
+  return program;
+}
+
+}  // namespace nestflow

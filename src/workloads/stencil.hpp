@@ -1,0 +1,33 @@
+// Near-Neighbors workload (§4.1): the halo-exchange pattern of stencil
+// codes such as LAMMPS or RegCM. Tasks sit on a periodic 3-D grid and every
+// iteration each task exchanges halos with its six face neighbours; an
+// iteration barrier separates rounds. All tasks inject simultaneously, so
+// despite the 1-hop spatial pattern this is one of the paper's heavy
+// workloads.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace nestflow {
+
+class NearNeighborsWorkload final : public Workload {
+ public:
+  struct Params {
+    double message_bytes = 64.0 * 1024;
+    std::uint32_t iterations = 2;
+    /// Periodic (wrapped) neighbour relation — matches the torus wrap.
+    bool periodic = true;
+  };
+  NearNeighborsWorkload();  // default parameters
+  explicit NearNeighborsWorkload(Params params);
+
+  [[nodiscard]] std::string name() const override { return "NearNeighbors"; }
+  [[nodiscard]] bool is_heavy() const override { return true; }
+  [[nodiscard]] TrafficProgram generate(
+      const WorkloadContext& context) const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace nestflow

@@ -1,0 +1,100 @@
+#include "workloads/unstructured.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nestflow {
+
+UnstructuredAppWorkload::UnstructuredAppWorkload() : UnstructuredAppWorkload(Params{}) {}
+UnstructuredAppWorkload::UnstructuredAppWorkload(Params params) : params_(params) {}
+
+UnstructuredMgntWorkload::UnstructuredMgntWorkload() : UnstructuredMgntWorkload(Params{}) {}
+UnstructuredMgntWorkload::UnstructuredMgntWorkload(Params params) : params_(params) {}
+
+UnstructuredHRWorkload::UnstructuredHRWorkload() : UnstructuredHRWorkload(Params{}) {}
+UnstructuredHRWorkload::UnstructuredHRWorkload(Params params) : params_(params) {}
+
+namespace {
+
+/// Uniform destination != src.
+std::uint32_t random_other(Prng& prng, std::uint32_t n, std::uint32_t src) {
+  auto dst = static_cast<std::uint32_t>(prng.next_below(n - 1));
+  if (dst >= src) ++dst;
+  return dst;
+}
+
+}  // namespace
+
+TrafficProgram UnstructuredAppWorkload::generate(
+    const WorkloadContext& context) const {
+  const std::uint32_t n = context.num_tasks;
+  if (n < 2) throw std::invalid_argument("UnstructuredApp: need >= 2 tasks");
+  Prng prng(context.seed, /*stream=*/0x0a99);
+  TrafficProgram program;
+  program.reserve(static_cast<std::size_t>(n) * params_.messages_per_task, 0);
+  for (std::uint32_t task = 0; task < n; ++task) {
+    for (std::uint32_t m = 0; m < params_.messages_per_task; ++m) {
+      program.add_flow(task, random_other(prng, n, task),
+                       params_.message_bytes);
+    }
+  }
+  return program;
+}
+
+TrafficProgram UnstructuredMgntWorkload::generate(
+    const WorkloadContext& context) const {
+  const std::uint32_t n = context.num_tasks;
+  if (n < 2) throw std::invalid_argument("UnstructuredMgnt: need >= 2 tasks");
+  Prng prng(context.seed, /*stream=*/0x319a7);
+  const std::uint32_t chains =
+      std::max(1u, n / std::max(1u, params_.tasks_per_chain));
+  TrafficProgram program;
+  program.reserve(static_cast<std::size_t>(chains) * params_.chain_length,
+                  static_cast<std::size_t>(chains) *
+                      (params_.chain_length - 1));
+  for (std::uint32_t chain = 0; chain < chains; ++chain) {
+    FlowIndex previous = kInvalidFlow;
+    std::uint32_t src = static_cast<std::uint32_t>(prng.next_below(n));
+    for (std::uint32_t m = 0; m < params_.chain_length; ++m) {
+      const std::uint32_t dst = random_other(prng, n, src);
+      const double bytes =
+          std::min(params_.max_bytes,
+                   prng.next_pareto(params_.pareto_shape,
+                                    params_.pareto_scale_bytes));
+      const FlowIndex f = program.add_flow(src, dst, bytes);
+      if (previous != kInvalidFlow) program.add_dependency(previous, f);
+      previous = f;
+      src = dst;  // the chain walks: reply/forward semantics
+    }
+  }
+  return program;
+}
+
+TrafficProgram UnstructuredHRWorkload::generate(
+    const WorkloadContext& context) const {
+  const std::uint32_t n = context.num_tasks;
+  if (n < 2) throw std::invalid_argument("UnstructuredHR: need >= 2 tasks");
+  Prng prng(context.seed, /*stream=*/0x407);
+  const auto num_hot = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(params_.hot_fraction *
+                                    static_cast<double>(n)));
+  const auto hot_picks = prng.sample_without_replacement(n, num_hot);
+  std::vector<std::uint32_t> hot(hot_picks.begin(), hot_picks.end());
+
+  TrafficProgram program;
+  program.reserve(static_cast<std::size_t>(n) * params_.messages_per_task, 0);
+  for (std::uint32_t task = 0; task < n; ++task) {
+    for (std::uint32_t m = 0; m < params_.messages_per_task; ++m) {
+      std::uint32_t dst;
+      do {
+        dst = prng.next_bool(params_.hot_probability)
+                  ? hot[prng.next_below(hot.size())]
+                  : static_cast<std::uint32_t>(prng.next_below(n));
+      } while (dst == task);
+      program.add_flow(task, dst, params_.message_bytes);
+    }
+  }
+  return program;
+}
+
+}  // namespace nestflow

@@ -1,0 +1,87 @@
+// Unstructured workloads (§4.1): traffic without spatial structure, as
+// produced by graph analytics, work-stealing runtimes and management
+// planes.
+//
+//  * UnstructuredApp — fixed-length messages to uniformly random
+//    destinations, all independent (evenly partitioned data): heavy.
+//  * UnstructuredMgnt — management-plane traffic following a heavy-tailed
+//    size distribution in the spirit of Kandula et al. (IMC'09): mostly
+//    small messages, a fat tail of large ones, organised into sequential
+//    request chains so concurrency stays low: light.
+//  * UnstructuredHR — like UnstructuredApp but a subset of *hot* tasks
+//    attracts a disproportionate share of the destinations: heavy, and the
+//    one workload where the paper found the GHC upper tier ahead.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace nestflow {
+
+class UnstructuredAppWorkload final : public Workload {
+ public:
+  struct Params {
+    double message_bytes = 64.0 * 1024;
+    std::uint32_t messages_per_task = 4;
+  };
+  UnstructuredAppWorkload();  // default parameters
+  explicit UnstructuredAppWorkload(Params params);
+
+  [[nodiscard]] std::string name() const override { return "UnstructuredApp"; }
+  [[nodiscard]] bool is_heavy() const override { return true; }
+  [[nodiscard]] TrafficProgram generate(
+      const WorkloadContext& context) const override;
+
+ private:
+  Params params_;
+};
+
+class UnstructuredMgntWorkload final : public Workload {
+ public:
+  struct Params {
+    /// One request chain per `tasks_per_chain` tasks.
+    std::uint32_t tasks_per_chain = 8;
+    std::uint32_t chain_length = 16;
+    /// Pareto size distribution (shape, scale), truncated at max_bytes:
+    /// ~80% of messages below 32 KiB with a tail into the megabytes,
+    /// echoing the datacenter measurements of Kandula et al.
+    double pareto_shape = 1.3;
+    double pareto_scale_bytes = 4.0 * 1024;
+    double max_bytes = 16.0 * 1024 * 1024;
+  };
+  UnstructuredMgntWorkload();  // default parameters
+  explicit UnstructuredMgntWorkload(Params params);
+
+  [[nodiscard]] std::string name() const override {
+    return "UnstructuredMgnt";
+  }
+  [[nodiscard]] bool is_heavy() const override { return false; }
+  [[nodiscard]] TrafficProgram generate(
+      const WorkloadContext& context) const override;
+
+ private:
+  Params params_;
+};
+
+class UnstructuredHRWorkload final : public Workload {
+ public:
+  struct Params {
+    double message_bytes = 64.0 * 1024;
+    std::uint32_t messages_per_task = 4;
+    /// Fraction of tasks that are hot (at least one).
+    double hot_fraction = 0.05;
+    /// Probability that a message targets a hot task.
+    double hot_probability = 0.5;
+  };
+  UnstructuredHRWorkload();  // default parameters
+  explicit UnstructuredHRWorkload(Params params);
+
+  [[nodiscard]] std::string name() const override { return "UnstructuredHR"; }
+  [[nodiscard]] bool is_heavy() const override { return true; }
+  [[nodiscard]] TrafficProgram generate(
+      const WorkloadContext& context) const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace nestflow

@@ -1,0 +1,94 @@
+#include "workloads/wavefront.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "topo/torus.hpp"  // GridShape
+
+namespace nestflow {
+
+Sweep3DWorkload::Sweep3DWorkload() : Sweep3DWorkload(Params{}) {}
+Sweep3DWorkload::Sweep3DWorkload(Params params) : params_(params) {}
+
+FloodWorkload::FloodWorkload() : FloodWorkload(Params{}) {}
+FloodWorkload::FloodWorkload(Params params) : params_(params) {}
+
+namespace {
+
+/// Builds one wavefront layer: every task sends to its +X/+Y/+Z neighbours
+/// (no wrap), each send gated on all of the task's incoming flows.
+/// Returns per-task outgoing flow ids (kInvalidFlow where no neighbour).
+std::vector<std::array<FlowIndex, 3>> add_wavefront(
+    TrafficProgram& program, const GridShape& grid, double bytes) {
+  const std::uint32_t n = grid.size();
+  std::vector<std::array<FlowIndex, 3>> outgoing(
+      n, {kInvalidFlow, kInvalidFlow, kInvalidFlow});
+  std::vector<std::uint32_t> strides(3, 1);
+  for (std::uint32_t dim = 1; dim < 3; ++dim) {
+    strides[dim] = strides[dim - 1] * grid.dims()[dim - 1];
+  }
+  for (std::uint32_t task = 0; task < n; ++task) {
+    for (std::uint32_t dim = 0; dim < 3; ++dim) {
+      if (grid.coord(task, dim) + 1 >= grid.dims()[dim]) continue;
+      outgoing[task][dim] =
+          program.add_flow(task, task + strides[dim], bytes);
+    }
+  }
+  for (std::uint32_t task = 0; task < n; ++task) {
+    for (std::uint32_t dim = 0; dim < 3; ++dim) {
+      const std::uint32_t coord = grid.coord(task, dim);
+      if (coord == 0) continue;
+      const FlowIndex incoming = outgoing[task - strides[dim]][dim];
+      // Forwarding in any direction waits for every incoming edge.
+      for (std::uint32_t out_dim = 0; out_dim < 3; ++out_dim) {
+        const FlowIndex out = outgoing[task][out_dim];
+        if (out != kInvalidFlow) program.add_dependency(incoming, out);
+      }
+    }
+  }
+  return outgoing;
+}
+
+}  // namespace
+
+TrafficProgram Sweep3DWorkload::generate(const WorkloadContext& context) const {
+  if (context.num_tasks < 2) {
+    throw std::invalid_argument("Sweep3D: need >= 2 tasks");
+  }
+  const GridShape grid(factor3(context.num_tasks));
+  TrafficProgram program;
+  add_wavefront(program, grid, params_.message_bytes);
+  return program;
+}
+
+TrafficProgram FloodWorkload::generate(const WorkloadContext& context) const {
+  if (context.num_tasks < 2) {
+    throw std::invalid_argument("Flood: need >= 2 tasks");
+  }
+  if (params_.num_waves == 0) {
+    throw std::invalid_argument("Flood: need >= 1 wave");
+  }
+  const GridShape grid(factor3(context.num_tasks));
+  TrafficProgram program;
+  std::vector<std::array<FlowIndex, 3>> previous;
+  for (std::uint32_t wave = 0; wave < params_.num_waves; ++wave) {
+    auto outgoing = add_wavefront(program, grid, params_.message_bytes);
+    if (wave > 0) {
+      // Per-task FIFO: a task forwards wave w on a port only after it has
+      // forwarded wave w-1 on that port — waves pipeline rather than pile
+      // up arbitrarily, with several diagonals concurrently in flight.
+      for (std::uint32_t task = 0; task < grid.size(); ++task) {
+        for (std::uint32_t dim = 0; dim < 3; ++dim) {
+          if (outgoing[task][dim] != kInvalidFlow &&
+              previous[task][dim] != kInvalidFlow) {
+            program.add_dependency(previous[task][dim], outgoing[task][dim]);
+          }
+        }
+      }
+    }
+    previous = std::move(outgoing);
+  }
+  return program;
+}
+
+}  // namespace nestflow

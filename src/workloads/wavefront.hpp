@@ -1,0 +1,57 @@
+// Wavefront workloads over a 3-D task grid (§4.1):
+//
+//  * Sweep3D — deterministic particle transport: a single wavefront starts
+//    at the (0,0,0) corner and advances diagonally; each task forwards to
+//    its +X/+Y/+Z neighbours once all its inputs have arrived. Concurrency
+//    is bounded by the diagonal plane, so network load is light.
+//  * Flood — the same spatial pattern but the source pumps several
+//    wavefronts back-to-back, keeping multiple diagonals in flight and
+//    pressing much harder on the network.
+//
+// The task grid is the near-cubic factorisation of the task count, which
+// for powers of two coincides with the reference torus dimensions — the
+// property that lets the plain torus excel on these two workloads.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace nestflow {
+
+class Sweep3DWorkload final : public Workload {
+ public:
+  struct Params {
+    /// Wavefront messages are small (boundary angles of a few cells), so
+    /// per-hop latency matters — this is what hands the torus its win.
+    double message_bytes = 1024.0;
+  };
+  Sweep3DWorkload();  // default parameters
+  explicit Sweep3DWorkload(Params params);
+
+  [[nodiscard]] std::string name() const override { return "Sweep3D"; }
+  [[nodiscard]] bool is_heavy() const override { return false; }
+  [[nodiscard]] TrafficProgram generate(
+      const WorkloadContext& context) const override;
+
+ private:
+  Params params_;
+};
+
+class FloodWorkload final : public Workload {
+ public:
+  struct Params {
+    double message_bytes = 1024.0;
+    std::uint32_t num_waves = 4;
+  };
+  FloodWorkload();  // default parameters
+  explicit FloodWorkload(Params params);
+
+  [[nodiscard]] std::string name() const override { return "Flood"; }
+  [[nodiscard]] bool is_heavy() const override { return false; }
+  [[nodiscard]] TrafficProgram generate(
+      const WorkloadContext& context) const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace nestflow

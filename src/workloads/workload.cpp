@@ -1,0 +1,77 @@
+#include "workloads/workload.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nestflow {
+
+void apply_task_mapping(TrafficProgram& program,
+                        std::span<const std::uint32_t> task_to_endpoint) {
+  TrafficProgram remapped;
+  remapped.reserve(program.num_flows(), program.dependencies().size());
+  for (const auto& spec : program.flows()) {
+    if (spec.is_sync) {
+      remapped.add_sync();
+      continue;
+    }
+    if (spec.src >= task_to_endpoint.size() ||
+        spec.dst >= task_to_endpoint.size()) {
+      throw std::invalid_argument("apply_task_mapping: rank out of range");
+    }
+    remapped.add_flow(task_to_endpoint[spec.src], task_to_endpoint[spec.dst],
+                      spec.bytes, spec.release_seconds);
+  }
+  for (const auto& [before, after] : program.dependencies()) {
+    remapped.add_dependency(before, after);
+  }
+  program = std::move(remapped);
+}
+
+std::vector<std::uint32_t> linear_task_mapping(std::uint32_t num_tasks,
+                                               std::uint32_t num_endpoints) {
+  if (num_tasks > num_endpoints) {
+    throw std::invalid_argument("linear_task_mapping: more tasks than nodes");
+  }
+  std::vector<std::uint32_t> mapping(num_tasks);
+  for (std::uint32_t r = 0; r < num_tasks; ++r) mapping[r] = r;
+  return mapping;
+}
+
+std::vector<std::uint32_t> random_task_mapping(std::uint32_t num_tasks,
+                                               std::uint32_t num_endpoints,
+                                               std::uint64_t seed) {
+  if (num_tasks > num_endpoints) {
+    throw std::invalid_argument("random_task_mapping: more tasks than nodes");
+  }
+  Prng prng(seed, /*stream=*/0x3a991e6);
+  auto picks = prng.sample_without_replacement(num_endpoints, num_tasks);
+  // Shuffle so low ranks are not biased toward any index range that
+  // sample_without_replacement's order might carry.
+  prng.shuffle(std::span<std::uint64_t>(picks));
+  std::vector<std::uint32_t> mapping(num_tasks);
+  for (std::uint32_t r = 0; r < num_tasks; ++r) {
+    mapping[r] = static_cast<std::uint32_t>(picks[r]);
+  }
+  return mapping;
+}
+
+std::vector<std::uint32_t> factor3(std::uint32_t n) {
+  if (n == 0) throw std::invalid_argument("factor3: n must be positive");
+  std::vector<std::uint32_t> best = {n, 1, 1};
+  std::uint32_t best_max = n;
+  for (std::uint32_t a = 1; a * a * a <= n; ++a) {
+    if (n % a != 0) continue;
+    const std::uint32_t rest = n / a;
+    for (std::uint32_t b = a; b * b <= rest; ++b) {
+      if (rest % b != 0) continue;
+      const std::uint32_t c = rest / b;
+      if (c < best_max || (c == best_max && a > best[2])) {
+        best = {c, b, a};  // descending
+        best_max = c;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace nestflow

@@ -1,0 +1,67 @@
+// Workload models (§4.1 of the paper): generators that turn a task count
+// and a seed into a TrafficProgram — flows over task ranks plus the causal
+// dependencies that shape how much of the traffic is in flight at once.
+//
+// Eleven models are implemented, split as the paper splits its figures:
+//
+//   heavy (Fig. 4): UnstructuredApp, UnstructuredHR, Bisection, AllReduce,
+//                   n-Bodies, NearNeighbors — long periods with a large
+//                   fraction of endpoints injecting simultaneously;
+//   light (Fig. 5): UnstructuredMgnt, MapReduce, Reduce, Flood, Sweep3D —
+//                   inter-message causality caps concurrency.
+//
+// Task rank r runs on endpoint r by default (the benches size the machine
+// to the task count); apply_task_mapping() remaps a generated program for
+// placement ablations.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "flowsim/flow.hpp"
+#include "util/prng.hpp"
+
+namespace nestflow {
+
+struct WorkloadContext {
+  std::uint32_t num_tasks = 0;
+  std::uint64_t seed = 0;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// The paper's Fig.4 (heavy) vs Fig.5 (light) classification.
+  [[nodiscard]] virtual bool is_heavy() const = 0;
+
+  /// Generates the flow DAG; src/dst are task ranks in [0, num_tasks).
+  /// Deterministic in (num_tasks, seed). Throws std::invalid_argument for
+  /// unsupported task counts (e.g. AllReduce needs a power of two).
+  [[nodiscard]] virtual TrafficProgram generate(
+      const WorkloadContext& context) const = 0;
+};
+
+/// Rewrites every flow's src/dst through `task_to_endpoint` (size must be
+/// >= the max rank used). Mappings must be injective for meaningful results.
+void apply_task_mapping(TrafficProgram& program,
+                        std::span<const std::uint32_t> task_to_endpoint);
+
+/// Identity (task r on endpoint r). Requires num_tasks <= num_endpoints.
+[[nodiscard]] std::vector<std::uint32_t> linear_task_mapping(
+    std::uint32_t num_tasks, std::uint32_t num_endpoints);
+
+/// Random injective placement; deterministic in seed.
+[[nodiscard]] std::vector<std::uint32_t> random_task_mapping(
+    std::uint32_t num_tasks, std::uint32_t num_endpoints, std::uint64_t seed);
+
+/// Near-cubic 3-way factorisation (max factor minimised, descending) used
+/// by the grid-structured workloads; matches balanced_pow2_dims for powers
+/// of two so task grids align with the reference torus.
+[[nodiscard]] std::vector<std::uint32_t> factor3(std::uint32_t n);
+
+}  // namespace nestflow

@@ -1,0 +1,94 @@
+#include "graph/bfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nestflow {
+namespace {
+
+/// A path graph 0-1-2-...-(n-1).
+Graph path_graph(std::uint32_t n) {
+  GraphBuilder builder;
+  builder.add_nodes(NodeKind::kEndpoint, n);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    builder.add_duplex(i, i + 1, 1.0, LinkClass::kTorus);
+  }
+  return std::move(builder).build(1.0);
+}
+
+/// A ring 0-1-...-(n-1)-0.
+Graph ring_graph(std::uint32_t n) {
+  GraphBuilder builder;
+  builder.add_nodes(NodeKind::kEndpoint, n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    builder.add_duplex(i, (i + 1) % n, 1.0, LinkClass::kTorus);
+  }
+  return std::move(builder).build(1.0);
+}
+
+TEST(Bfs, PathDistances) {
+  const Graph g = path_graph(6);
+  const auto dist = bfs_distances(g, 0);
+  for (std::uint32_t i = 0; i < 6; ++i) EXPECT_EQ(dist[i], i);
+}
+
+TEST(Bfs, PathDistancesFromMiddle) {
+  const Graph g = path_graph(5);
+  const auto dist = bfs_distances(g, 2);
+  EXPECT_EQ(dist[0], 2u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 0u);
+  EXPECT_EQ(dist[3], 1u);
+  EXPECT_EQ(dist[4], 2u);
+}
+
+TEST(Bfs, RingDistances) {
+  const Graph g = ring_graph(8);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[4], 4u);  // antipode
+  EXPECT_EQ(dist[7], 1u);  // wraps
+}
+
+TEST(Bfs, EccentricityAndFarthest) {
+  const Graph g = path_graph(7);
+  BfsScratch scratch;
+  scratch.run(g, 0);
+  EXPECT_EQ(scratch.eccentricity(), 6u);
+  EXPECT_EQ(scratch.farthest_node(), 6u);
+  EXPECT_EQ(scratch.reached(), 7u);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  GraphBuilder builder;
+  builder.add_nodes(NodeKind::kEndpoint, 3);
+  builder.add_duplex(0, 1, 1.0, LinkClass::kTorus);
+  const Graph g = std::move(builder).build(1.0);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  BfsScratch scratch;
+  scratch.run(g, 0);
+  EXPECT_EQ(scratch.reached(), 2u);
+}
+
+TEST(Bfs, ScratchIsReusable) {
+  const Graph g = ring_graph(6);
+  BfsScratch scratch;
+  scratch.run(g, 0);
+  const auto ecc0 = scratch.eccentricity();
+  scratch.run(g, 3);
+  EXPECT_EQ(scratch.eccentricity(), ecc0);  // ring is vertex-transitive
+  EXPECT_EQ(scratch.distances()[3], 0u);
+}
+
+TEST(Bfs, SingleNode) {
+  GraphBuilder builder;
+  builder.add_node(NodeKind::kEndpoint);
+  const Graph g = std::move(builder).build(1.0);
+  BfsScratch scratch;
+  scratch.run(g, 0);
+  EXPECT_EQ(scratch.eccentricity(), 0u);
+  EXPECT_EQ(scratch.reached(), 1u);
+}
+
+}  // namespace
+}  // namespace nestflow

@@ -1,0 +1,68 @@
+#include "topo/census.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/factory.hpp"
+
+namespace nestflow {
+namespace {
+
+TEST(Census, TorusCountsOnlyTorusCables) {
+  const auto torus = make_topology("torus:4x4");
+  const auto census = take_census(torus->graph());
+  EXPECT_EQ(census.endpoints, 16u);
+  EXPECT_EQ(census.switches, 0u);
+  EXPECT_EQ(census.torus_cables, 32u);  // 2 dims * 16 nodes
+  EXPECT_EQ(census.uplink_cables, 0u);
+  EXPECT_EQ(census.upper_cables, 0u);
+  EXPECT_EQ(census.switch_ports, 0u);
+  EXPECT_EQ(census.max_switch_radix, 0u);
+}
+
+TEST(Census, FattreeRadixAndPorts) {
+  // 4-ary 2-tree: stage-1 switches radix 8 (4 down + 4 up), stage-2 radix 4.
+  const auto tree = make_topology("fattree:4,4");
+  const auto census = take_census(tree->graph());
+  EXPECT_EQ(census.endpoints, 16u);
+  EXPECT_EQ(census.switches, 8u);
+  EXPECT_EQ(census.uplink_cables, 16u);
+  EXPECT_EQ(census.upper_cables, 16u);
+  EXPECT_EQ(census.max_switch_radix, 8u);
+  EXPECT_EQ(census.switch_ports, 4u * 8u + 4u * 4u);
+}
+
+TEST(Census, NestedSplitsCableClasses) {
+  const auto nested = make_nested(128, 2, 2, UpperTierKind::kGhc);
+  const auto census = take_census(nested->graph());
+  EXPECT_EQ(census.endpoints, 128u);
+  EXPECT_EQ(census.torus_cables, 128u * 3u / 2u);  // 2x2x2 subtori
+  // 64 uplinked nodes x 3 GHC dims.
+  EXPECT_EQ(census.uplink_cables, 64u * 3u);
+  EXPECT_EQ(census.upper_cables, 0u);  // BCube-style GHC has no switch-switch
+  EXPECT_EQ(census.switches, nested->num_upper_switches());
+}
+
+TEST(Census, TotalCablesMatchesDirectedLinkCount) {
+  for (const char* spec : {"torus:4x4x4", "fattree:4,4,4", "ghc:4x4",
+                           "nesttree:128,2,4", "dragonfly:2,4,2",
+                           "thintree:4,2,3"}) {
+    const auto topo = make_topology(spec);
+    const auto census = take_census(topo->graph());
+    EXPECT_EQ(census.total_cables() * 2, topo->graph().num_transit_links())
+        << spec;
+    EXPECT_EQ(census.endpoints + census.switches, topo->graph().num_nodes())
+        << spec;
+  }
+}
+
+TEST(Census, ToStringMentionsEveryField) {
+  const auto tree = make_topology("fattree:4,4");
+  const auto text = take_census(tree->graph()).to_string();
+  for (const char* token : {"endpoints=16", "switches=8", "uplink=16",
+                            "upper=16", "max_radix=8"}) {
+    EXPECT_NE(text.find(token), std::string::npos) << token;
+  }
+}
+
+}  // namespace
+}  // namespace nestflow

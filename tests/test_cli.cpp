@@ -1,0 +1,126 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nestflow {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli("prog", "test program");
+  cli.add_option("nodes", "node count", "1024");
+  cli.add_option("name", "a string", "default");
+  cli.add_option("ratio", "a double", "0.5");
+  cli.add_option("list", "comma ints", "1,2,3");
+  cli.add_flag("verbose", "chatty");
+  return cli;
+}
+
+TEST(Cli, DefaultsApply) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("nodes"), 1024);
+  EXPECT_EQ(cli.get_string("name"), "default");
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio"), 0.5);
+  EXPECT_FALSE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--nodes", "64", "--name", "hello"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_int("nodes"), 64);
+  EXPECT_EQ(cli.get_string("name"), "hello");
+}
+
+TEST(Cli, EqualsSeparatedValues) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--nodes=128", "--ratio=2.25"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_int("nodes"), 128);
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio"), 2.25);
+}
+
+TEST(Cli, FlagSetsTrue) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, UnknownOptionFails) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_FALSE(cli.parse(3, argv));
+  EXPECT_NE(cli.error().find("unknown option"), std::string::npos);
+}
+
+TEST(Cli, MissingValueFails) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--nodes"};
+  EXPECT_FALSE(cli.parse(2, argv));
+  EXPECT_NE(cli.error().find("requires a value"), std::string::npos);
+}
+
+TEST(Cli, PositionalArgumentFails) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, RequiredOptionEnforced) {
+  CliParser cli("prog", "test");
+  cli.add_option("must", "required value", std::nullopt);
+  const char* argv[] = {"prog"};
+  EXPECT_FALSE(cli.parse(1, argv));
+  EXPECT_NE(cli.error().find("missing required"), std::string::npos);
+}
+
+TEST(Cli, RequiredOptionSatisfied) {
+  CliParser cli("prog", "test");
+  cli.add_option("must", "required value", std::nullopt);
+  const char* argv[] = {"prog", "--must", "x"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_string("must"), "x");
+}
+
+TEST(Cli, IntListParses) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--list", "4,8,16"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_int_list("list"), (std::vector<std::int64_t>{4, 8, 16}));
+}
+
+TEST(Cli, StringListDefault) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_string_list("list"),
+            (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(Cli, HasReportsExplicitOnly) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--nodes", "8"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_TRUE(cli.has("nodes"));
+  EXPECT_FALSE(cli.has("name"));
+}
+
+TEST(Cli, UsageMentionsEveryOption) {
+  auto cli = make_parser();
+  const auto usage = cli.usage();
+  for (const char* name : {"nodes", "name", "ratio", "list", "verbose"}) {
+    EXPECT_NE(usage.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Cli, UndeclaredQueryThrows) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_THROW((void)cli.get_string("nope"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nestflow

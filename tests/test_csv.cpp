@@ -1,0 +1,90 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace nestflow {
+namespace {
+
+TEST(Table, RowWidthMustMatchHeader) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"1"}), std::invalid_argument);
+  EXPECT_NO_THROW(table.add_row({"1", "2"}));
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(Table, CsvBasic) {
+  Table table({"x", "y"});
+  table.add_row({"1", "2"});
+  std::ostringstream out;
+  table.write_csv(out);
+  EXPECT_EQ(out.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, CsvQuotesSpecialCharacters) {
+  Table table({"v"});
+  table.add_row({"a,b"});
+  table.add_row({"say \"hi\""});
+  table.add_row({"line\nbreak"});
+  std::ostringstream out;
+  table.write_csv(out);
+  EXPECT_EQ(out.str(), "v\n\"a,b\"\n\"say \"\"hi\"\"\"\n\"line\nbreak\"\n");
+}
+
+TEST(Table, TextRenderingAligns) {
+  Table table({"name", "v"});
+  table.add_row({"a", "100"});
+  table.add_row({"longer", "1"});
+  const auto text = table.to_text();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, SaveCsvRoundTrip) {
+  Table table({"k"});
+  table.add_row({"42"});
+  const std::string path = testing::TempDir() + "nestflow_csv_test.csv";
+  table.save_csv(path);
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "k\n42\n");
+  std::remove(path.c_str());
+}
+
+TEST(Table, SaveCsvBadPathThrows) {
+  Table table({"k"});
+  EXPECT_THROW(table.save_csv("/nonexistent-dir-xyz/file.csv"),
+               std::runtime_error);
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+  EXPECT_EQ(format_fixed(-1.5, 1), "-1.5");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.0527, 2), "5.27%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512.0 B");
+  EXPECT_EQ(format_bytes(1024), "1.00 KiB");
+  EXPECT_EQ(format_bytes(1.5 * 1024 * 1024), "1.50 MiB");
+}
+
+TEST(Format, Time) {
+  EXPECT_EQ(format_time(2.5), "2.500 s");
+  EXPECT_EQ(format_time(1.5e-3), "1.50 ms");
+  EXPECT_EQ(format_time(2e-6), "2.0 us");
+  EXPECT_EQ(format_time(5e-9), "5.0 ns");
+}
+
+}  // namespace
+}  // namespace nestflow

@@ -1,0 +1,96 @@
+#include "flowsim/dag.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nestflow {
+namespace {
+
+TrafficProgram three_flows() {
+  TrafficProgram program;
+  program.add_flow(0, 1, 1.0);
+  program.add_flow(1, 2, 1.0);
+  program.add_flow(2, 3, 1.0);
+  return program;
+}
+
+TEST(Dag, FlatProgramAllRoots) {
+  const auto program = three_flows();
+  const DependencyDag dag(program);
+  EXPECT_EQ(dag.roots().size(), 3u);
+  EXPECT_EQ(dag.depth(), 0u);
+  for (FlowIndex f = 0; f < 3; ++f) {
+    EXPECT_EQ(dag.pending_parents()[f], 0u);
+    EXPECT_TRUE(dag.children(f).empty());
+  }
+}
+
+TEST(Dag, ChainDepthAndChildren) {
+  auto program = three_flows();
+  program.add_dependency(0, 1);
+  program.add_dependency(1, 2);
+  const DependencyDag dag(program);
+  EXPECT_EQ(dag.roots(), std::vector<FlowIndex>{0});
+  EXPECT_EQ(dag.depth(), 2u);
+  EXPECT_EQ(dag.children(0).size(), 1u);
+  EXPECT_EQ(dag.children(0)[0], 1u);
+  EXPECT_EQ(dag.pending_parents()[2], 1u);
+}
+
+TEST(Dag, DiamondCountsParents) {
+  TrafficProgram program;
+  for (int i = 0; i < 4; ++i) program.add_flow(0, 1, 1.0);
+  program.add_dependency(0, 1);
+  program.add_dependency(0, 2);
+  program.add_dependency(1, 3);
+  program.add_dependency(2, 3);
+  const DependencyDag dag(program);
+  EXPECT_EQ(dag.pending_parents()[3], 2u);
+  EXPECT_EQ(dag.depth(), 2u);
+}
+
+TEST(Dag, DuplicateEdgesCollapse) {
+  auto program = three_flows();
+  program.add_dependency(0, 1);
+  program.add_dependency(0, 1);
+  const DependencyDag dag(program);
+  EXPECT_EQ(dag.children(0).size(), 1u);
+  EXPECT_EQ(dag.pending_parents()[1], 1u);
+}
+
+TEST(Dag, CycleDetected) {
+  auto program = three_flows();
+  program.add_dependency(0, 1);
+  program.add_dependency(1, 2);
+  program.add_dependency(2, 0);
+  EXPECT_THROW(DependencyDag dag(program), std::invalid_argument);
+}
+
+TEST(Dag, TwoCycleDetected) {
+  auto program = three_flows();
+  program.add_dependency(0, 1);
+  program.add_dependency(1, 0);
+  EXPECT_THROW(DependencyDag dag(program), std::invalid_argument);
+}
+
+TEST(Dag, BadEdgeRejected) {
+  TrafficProgram program;
+  program.add_flow(0, 1, 1.0);
+  program.add_dependency(0, 5);  // flow 5 never created
+  EXPECT_THROW(DependencyDag dag(program), std::invalid_argument);
+}
+
+TEST(Dag, ChildrenOutOfRangeThrows) {
+  const auto program = three_flows();
+  const DependencyDag dag(program);
+  EXPECT_THROW((void)dag.children(3), std::out_of_range);
+}
+
+TEST(Dag, EmptyProgram) {
+  const TrafficProgram program;
+  const DependencyDag dag(program);
+  EXPECT_EQ(dag.num_flows(), 0u);
+  EXPECT_TRUE(dag.roots().empty());
+}
+
+}  // namespace
+}  // namespace nestflow

@@ -1,0 +1,117 @@
+#include "topo/dragonfly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "graph/validation.hpp"
+#include "topo/census.hpp"
+
+namespace nestflow {
+namespace {
+
+DragonflyTopology::Params small_params() {
+  DragonflyTopology::Params params;
+  params.endpoints_per_router = 2;  // p
+  params.routers_per_group = 4;     // a
+  params.globals_per_router = 2;    // h
+  return params;                    // g = 9, 72 endpoints, 36 routers
+}
+
+TEST(Dragonfly, ComponentCounts) {
+  const DragonflyTopology df(small_params());
+  EXPECT_EQ(df.num_groups(), 9u);
+  EXPECT_EQ(df.num_endpoints(), 72u);
+  EXPECT_EQ(df.graph().num_switches(), 36u);
+  const auto census = take_census(df.graph());
+  // Endpoint cables: 72; intra-group: 9 * C(4,2) = 54; global: C(9,2) = 36.
+  EXPECT_EQ(census.uplink_cables, 72u);
+  EXPECT_EQ(census.torus_cables, 54u);
+  EXPECT_EQ(census.upper_cables, 36u);
+}
+
+TEST(Dragonfly, Validates) {
+  const DragonflyTopology df(small_params());
+  const auto report = validate_graph(df.graph());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Dragonfly, EveryGroupPairHasExactlyOneGlobalCable) {
+  const DragonflyTopology df(small_params());
+  const auto& g = df.graph();
+  std::map<std::pair<std::uint32_t, std::uint32_t>, int> pair_count;
+  const auto group_of_router = [&](NodeId node) {
+    return (node - df.num_endpoints()) / 4;
+  };
+  for (LinkId l = 0; l < g.num_transit_links(); ++l) {
+    const auto& link = g.link(l);
+    if (link.link_class != LinkClass::kUpper || link.reverse < l) continue;
+    const auto ga = group_of_router(link.src);
+    const auto gb = group_of_router(link.dst);
+    EXPECT_NE(ga, gb);
+    ++pair_count[{std::min(ga, gb), std::max(ga, gb)}];
+  }
+  EXPECT_EQ(pair_count.size(), 36u);
+  for (const auto& [pair, count] : pair_count) EXPECT_EQ(count, 1);
+}
+
+TEST(Dragonfly, RoutesAreValidAndShort) {
+  const DragonflyTopology df(small_params());
+  Path path;
+  for (std::uint32_t s = 0; s < df.num_endpoints(); s += 3) {
+    for (std::uint32_t d = 0; d < df.num_endpoints(); d += 5) {
+      df.route(s, d, path);
+      if (s == d) {
+        EXPECT_EQ(path.hops(), 0u);
+        continue;
+      }
+      NodeId current = s;
+      for (const LinkId l : path.links) {
+        ASSERT_EQ(df.graph().link(l).src, current);
+        current = df.graph().link(l).dst;
+      }
+      EXPECT_EQ(current, d);
+      EXPECT_LE(path.hops(), 5u);  // ep + intra + global + intra + ep
+      EXPECT_EQ(path.hops(), df.route_distance(s, d));
+    }
+  }
+}
+
+TEST(Dragonfly, RouteAtLeastBfsAndSameRouterIsTwoHops) {
+  const DragonflyTopology df(small_params());
+  BfsScratch bfs;
+  for (const std::uint32_t s : {0u, 10u, 41u}) {
+    bfs.run(df.graph(), s);
+    for (std::uint32_t d = 0; d < df.num_endpoints(); ++d) {
+      EXPECT_GE(df.route_distance(s, d), bfs.distances()[d]);
+    }
+  }
+  EXPECT_EQ(df.route_distance(0, 1), 2u);  // same router
+  EXPECT_EQ(df.route_distance(0, 2), 3u);  // same group, next router
+}
+
+TEST(Dragonfly, BalancedParamsMeetEndpointTarget) {
+  const auto params = DragonflyTopology::balanced_params(1000);
+  const std::uint64_t n = static_cast<std::uint64_t>(params.num_groups) *
+                          params.routers_per_group *
+                          params.endpoints_per_router;
+  EXPECT_GE(n, 1000u);
+  EXPECT_EQ(params.routers_per_group, 2 * params.endpoints_per_router);
+  EXPECT_EQ(params.globals_per_router, params.endpoints_per_router);
+}
+
+TEST(Dragonfly, RejectsBadParams) {
+  DragonflyTopology::Params params = small_params();
+  params.num_groups = 5;  // not a*h + 1
+  EXPECT_THROW(DragonflyTopology df(params), std::invalid_argument);
+  params = small_params();
+  params.routers_per_group = 1;
+  EXPECT_THROW(DragonflyTopology df(params), std::invalid_argument);
+}
+
+TEST(Dragonfly, Name) {
+  EXPECT_EQ(DragonflyTopology(small_params()).name(),
+            "Dragonfly(p=2,a=4,h=2,g=9)");
+}
+
+}  // namespace
+}  // namespace nestflow

@@ -1,0 +1,82 @@
+#include "core/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flowsim/engine.hpp"
+#include "topo/factory.hpp"
+
+namespace nestflow {
+namespace {
+
+TEST(EnergyModel, HandComputedCase) {
+  TopologyCensus census;
+  census.endpoints = 10;
+  census.switches = 2;
+  census.torus_cables = 5;
+
+  SimResult result;
+  result.makespan = 2.0;
+  result.bytes_by_class[static_cast<int>(LinkClass::kInjection)] = 1e9;
+  result.bytes_by_class[static_cast<int>(LinkClass::kConsumption)] = 1e9;
+  result.bytes_by_class[static_cast<int>(LinkClass::kTorus)] = 4e9;
+
+  EnergyModel model;
+  model.nic_j_per_byte = 100e-12;
+  model.link_j_per_byte = 50e-12;
+  model.qfdb_w = 100.0;
+  model.switch_w = 25.0;
+  model.cable_w = 2.0;
+
+  const auto estimate = estimate_energy(census, result, model);
+  // dynamic: 2e9 * 100e-12 + 4e9 * 50e-12 = 0.2 + 0.2 = 0.4 J
+  EXPECT_NEAR(estimate.dynamic_joules, 0.4, 1e-12);
+  // static: (10*100 + 2*25 + 5*2) * 2 s = 1060 * 2 = 2120 J
+  EXPECT_NEAR(estimate.static_joules, 2120.0, 1e-9);
+  EXPECT_NEAR(estimate.total_joules(), 2120.4, 1e-9);
+  EXPECT_NEAR(estimate.average_watts, 2120.4 / 2.0, 1e-9);
+  EXPECT_NEAR(estimate.energy_delay, 2120.4 * 2.0, 1e-9);
+}
+
+TEST(EnergyModel, RejectsZeroMakespan) {
+  TopologyCensus census;
+  census.endpoints = 1;
+  SimResult result;
+  EXPECT_THROW((void)estimate_energy(census, result), std::invalid_argument);
+}
+
+TEST(EnergyModel, EndToEndFromSimulation) {
+  const auto topo = make_topology("nestghc:128,2,2");
+  const auto census = take_census(topo->graph());
+  TrafficProgram program;
+  for (std::uint32_t i = 0; i < 128; ++i) {
+    program.add_flow(i, (i + 64) % 128, 1e6);
+  }
+  FlowEngine engine(*topo);
+  const auto result = engine.run(program);
+  const auto estimate = estimate_energy(census, result);
+  EXPECT_GT(estimate.dynamic_joules, 0.0);
+  EXPECT_GT(estimate.static_joules, 0.0);
+  // Short runs at this scale are overwhelmingly static-dominated.
+  EXPECT_GT(estimate.static_joules, estimate.dynamic_joules);
+}
+
+TEST(EnergyModel, MoreHopsMoreDynamicEnergy) {
+  // The same payload over a longer route burns more transit energy.
+  const auto torus = make_reference_torus(512);
+  const auto census = take_census(torus->graph());
+  FlowEngine engine(*torus);
+
+  TrafficProgram near_program;
+  near_program.add_flow(0, 1, 1e9);
+  TrafficProgram far_program;
+  far_program.add_flow(0, 511, 1e9);
+
+  const auto near_result = engine.run(near_program);
+  const auto far_result = engine.run(far_program);
+  const auto near_energy = estimate_energy(census, near_result);
+  const auto far_energy = estimate_energy(census, far_result);
+  EXPECT_GT(far_energy.dynamic_joules, near_energy.dynamic_joules);
+}
+
+}  // namespace
+}  // namespace nestflow

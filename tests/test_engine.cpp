@@ -1,0 +1,273 @@
+#include "flowsim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "flowsim/metrics.hpp"
+#include "topo/factory.hpp"
+#include "workloads/collectives.hpp"
+
+namespace nestflow {
+namespace {
+
+// All tests use 10 Gb/s links: 1.25e9 bytes/s.
+constexpr double kBps = kDefaultLinkBps;
+
+TEST(Engine, SingleFlowSoloTime) {
+  const TorusTopology torus({4, 4});
+  FlowEngine engine(torus);
+  TrafficProgram program;
+  program.add_flow(0, 1, kBps);  // exactly one second at full rate
+  const auto result = engine.run(program);
+  EXPECT_NEAR(result.makespan, 1.0, 1e-9);
+  EXPECT_EQ(result.num_flows, 1u);
+  EXPECT_EQ(result.events, 1u);
+}
+
+TEST(Engine, SelfFlowUsesNicOnly) {
+  const TorusTopology torus({4, 4});
+  FlowEngine engine(torus);
+  TrafficProgram program;
+  program.add_flow(2, 2, kBps / 2);
+  const auto result = engine.run(program);
+  EXPECT_NEAR(result.makespan, 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(result.bytes_by_class[static_cast<int>(LinkClass::kTorus)],
+                   0.0);
+}
+
+TEST(Engine, InjectionSerialisesASourcesFlows) {
+  // One source sends to 4 distinct destinations: the injection NIC is the
+  // bottleneck, so 4 flows of B bytes take 4B/kBps.
+  const TorusTopology torus({4, 4});
+  FlowEngine engine(torus);
+  TrafficProgram program;
+  for (std::uint32_t d = 1; d <= 4; ++d) program.add_flow(0, d, kBps / 4);
+  const auto result = engine.run(program);
+  EXPECT_NEAR(result.makespan, 1.0, 1e-6);
+}
+
+TEST(Engine, ReduceHotSpotSerialisesAtRoot) {
+  // The paper's Reduce observation: the root's consumption port is the
+  // bottleneck, so time = (n-1)*B / capacity regardless of the topology.
+  const auto topo_a = make_topology("torus:4x4x2");
+  const auto topo_b = make_topology("fattree:8,4");
+  const ReduceWorkload reduce;
+  WorkloadContext ctx;
+  ctx.num_tasks = 32;
+  ctx.seed = 1;
+  const auto program = reduce.generate(ctx);
+
+  FlowEngine engine_a(*topo_a), engine_b(*topo_b);
+  const double expected = 31.0 * 64.0 * 1024 / kBps;
+  EXPECT_NEAR(engine_a.run(program).makespan, expected, expected * 1e-6);
+  EXPECT_NEAR(engine_b.run(program).makespan, expected, expected * 1e-6);
+}
+
+TEST(Engine, DependencyChainsSerialise) {
+  const TorusTopology torus({4, 4});
+  FlowEngine engine(torus);
+  TrafficProgram program;
+  const auto a = program.add_flow(0, 1, kBps);
+  const auto b = program.add_flow(1, 2, kBps);
+  const auto c = program.add_flow(2, 3, kBps);
+  program.add_dependency(a, b);
+  program.add_dependency(b, c);
+  const auto result = engine.run(program);
+  EXPECT_NEAR(result.makespan, 3.0, 1e-9);
+  EXPECT_EQ(result.peak_active_flows, 1u);
+}
+
+TEST(Engine, IndependentFlowsOverlap) {
+  const TorusTopology torus({8});
+  FlowEngine engine(torus);
+  TrafficProgram program;
+  program.add_flow(0, 1, kBps);
+  program.add_flow(2, 3, kBps);
+  program.add_flow(4, 5, kBps);
+  const auto result = engine.run(program);
+  EXPECT_NEAR(result.makespan, 1.0, 1e-9);  // disjoint paths: full overlap
+  EXPECT_EQ(result.peak_active_flows, 3u);
+}
+
+TEST(Engine, SharedLinkHalvesThroughput) {
+  // Two flows with the same src->dst route share every link: 2x time.
+  const TorusTopology torus({8});
+  FlowEngine engine(torus);
+  TrafficProgram program;
+  program.add_flow(0, 1, kBps);
+  program.add_flow(0, 1, kBps);
+  const auto result = engine.run(program);
+  EXPECT_NEAR(result.makespan, 2.0, 1e-9);
+}
+
+TEST(Engine, BarrierSeparatesPhases) {
+  const TorusTopology torus({8});
+  FlowEngine engine(torus);
+  TrafficProgram program;
+  const auto a = program.add_flow(0, 1, kBps);
+  const auto b = program.add_flow(0, 1, kBps);
+  const std::vector<FlowIndex> phase1 = {a};
+  const std::vector<FlowIndex> phase2 = {b};
+  program.add_barrier(phase1, phase2);
+  const auto result = engine.run(program);
+  EXPECT_NEAR(result.makespan, 2.0, 1e-9);
+  EXPECT_EQ(result.peak_active_flows, 1u);
+}
+
+TEST(Engine, SyncOnlyProgramCompletesInstantly) {
+  const TorusTopology torus({4});
+  FlowEngine engine(torus);
+  TrafficProgram program;
+  const auto s1 = program.add_sync();
+  const auto s2 = program.add_sync();
+  program.add_dependency(s1, s2);
+  const auto result = engine.run(program);
+  EXPECT_DOUBLE_EQ(result.makespan, 0.0);
+  EXPECT_EQ(result.num_flows, 0u);
+}
+
+TEST(Engine, ZeroByteFlowIsInstant) {
+  const TorusTopology torus({4});
+  FlowEngine engine(torus);
+  TrafficProgram program;
+  program.add_flow(0, 1, 0.0);
+  const auto result = engine.run(program);
+  EXPECT_DOUBLE_EQ(result.makespan, 0.0);
+}
+
+TEST(Engine, EmptyProgram) {
+  const TorusTopology torus({4});
+  FlowEngine engine(torus);
+  const auto result = engine.run(TrafficProgram{});
+  EXPECT_DOUBLE_EQ(result.makespan, 0.0);
+  EXPECT_EQ(result.events, 0u);
+}
+
+TEST(Engine, RecordsMonotoneFinishTimesAlongChains) {
+  const TorusTopology torus({8});
+  EngineOptions options;
+  options.record_flow_times = true;
+  FlowEngine engine(torus, options);
+  TrafficProgram program;
+  FlowIndex prev = kInvalidFlow;
+  for (int i = 0; i < 5; ++i) {
+    const auto f = program.add_flow(i, i + 1, kBps / 10);
+    if (prev != kInvalidFlow) program.add_dependency(prev, f);
+    prev = f;
+  }
+  const auto result = engine.run(program);
+  ASSERT_EQ(result.flow_finish_times.size(), 5u);
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_GT(result.flow_finish_times[i], result.flow_finish_times[i - 1]);
+  }
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  const auto topo = make_topology("nestghc:128,2,4");
+  FlowEngine engine(*topo);
+  TrafficProgram program;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    program.add_flow(i, (i * 37 + 11) % 128, 1000.0 * (i + 1));
+  }
+  const auto first = engine.run(program);
+  const auto second = engine.run(program);  // engine reuse
+  EXPECT_DOUBLE_EQ(first.makespan, second.makespan);
+  EXPECT_EQ(first.events, second.events);
+  EXPECT_EQ(first.solver_rounds, second.solver_rounds);
+}
+
+TEST(Engine, RespectsStaticLowerBounds) {
+  const auto topo = make_topology("nesttree:128,2,2");
+  TrafficProgram program;
+  for (std::uint32_t i = 0; i < 128; ++i) {
+    program.add_flow(i, (i + 41) % 128, 123456.0);
+  }
+  const auto load = static_load(*topo, program);
+  const double critical = critical_path_seconds(*topo, program);
+  FlowEngine engine(*topo);
+  const auto result = engine.run(program);
+  EXPECT_GE(result.makespan, load.max_link_seconds * (1.0 - 1e-9));
+  EXPECT_GE(result.makespan, critical * (1.0 - 1e-9));
+}
+
+TEST(Engine, QuantisedRatesStayCloseToExact) {
+  const auto topo = make_topology("torus:4x4x4");
+  TrafficProgram program;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    program.add_flow(i, (i * 13 + 5) % 64, 65536.0);
+  }
+  FlowEngine exact(*topo);
+  EngineOptions quantised_options;
+  quantised_options.rate_quantum_rel = 0.01;
+  FlowEngine quantised(*topo, quantised_options);
+  const double t_exact = exact.run(program).makespan;
+  const double t_quant = quantised.run(program).makespan;
+  EXPECT_GE(t_quant, t_exact * (1.0 - 1e-9));  // rounding down never speeds up
+  EXPECT_LE(t_quant, t_exact * 1.05);
+}
+
+TEST(Engine, MaxEventsGuardFires) {
+  const TorusTopology torus({8});
+  EngineOptions options;
+  options.max_events = 2;
+  FlowEngine engine(torus, options);
+  TrafficProgram program;
+  FlowIndex prev = kInvalidFlow;
+  for (int i = 0; i < 5; ++i) {
+    const auto f = program.add_flow(0, 1, 100.0);
+    if (prev != kInvalidFlow) program.add_dependency(prev, f);
+    prev = f;
+  }
+  EXPECT_THROW((void)engine.run(program), std::runtime_error);
+}
+
+TEST(Engine, RejectsOutOfRangeEndpoints) {
+  const TorusTopology torus({4});
+  FlowEngine engine(torus);
+  TrafficProgram program;
+  program.add_flow(0, 99, 1.0);
+  EXPECT_THROW((void)engine.run(program), std::invalid_argument);
+}
+
+TEST(Engine, RejectsDependencyCycles) {
+  const TorusTopology torus({4});
+  FlowEngine engine(torus);
+  TrafficProgram program;
+  const auto a = program.add_flow(0, 1, 1.0);
+  const auto b = program.add_flow(1, 2, 1.0);
+  program.add_dependency(a, b);
+  program.add_dependency(b, a);
+  EXPECT_THROW((void)engine.run(program), std::invalid_argument);
+}
+
+TEST(Engine, ByteAccountingConserved) {
+  const auto topo = make_topology("fattree:4,4");
+  FlowEngine engine(*topo);
+  TrafficProgram program;
+  program.add_flow(0, 15, 1000.0);
+  program.add_flow(3, 9, 500.0);
+  const auto result = engine.run(program);
+  EXPECT_DOUBLE_EQ(result.total_bytes, 1500.0);
+  // Every data flow crosses its injection and consumption NIC exactly once.
+  EXPECT_DOUBLE_EQ(
+      result.bytes_by_class[static_cast<int>(LinkClass::kInjection)], 1500.0);
+  EXPECT_DOUBLE_EQ(
+      result.bytes_by_class[static_cast<int>(LinkClass::kConsumption)],
+      1500.0);
+}
+
+TEST(Engine, UtilisationIsAtMostOne) {
+  const auto topo = make_topology("nestghc:128,2,8");
+  FlowEngine engine(*topo);
+  TrafficProgram program;
+  for (std::uint32_t i = 0; i < 128; ++i) {
+    program.add_flow(i, (i + 64) % 128, 65536.0);
+  }
+  const auto result = engine.run(program);
+  EXPECT_LE(result.max_link_utilization, 1.0 + 1e-9);
+  EXPECT_GT(result.max_link_utilization, 0.5);  // something saturated
+}
+
+}  // namespace
+}  // namespace nestflow

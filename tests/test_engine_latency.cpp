@@ -1,0 +1,168 @@
+// Tests for the per-hop latency model and the adaptive-routing engine path.
+#include <gtest/gtest.h>
+
+#include "flowsim/engine.hpp"
+#include "topo/factory.hpp"
+#include "workloads/wavefront.hpp"
+
+namespace nestflow {
+namespace {
+
+constexpr double kBps = kDefaultLinkBps;
+
+EngineOptions with_latency(double seconds) {
+  EngineOptions options;
+  options.hop_latency_seconds = seconds;
+  return options;
+}
+
+TEST(EngineLatency, TransferBoundFlowUnaffected) {
+  // Transfer time 1 s >> 3 hops * 1 us: latency must not change anything.
+  const TorusTopology torus({8});
+  FlowEngine engine(torus, with_latency(1e-6));
+  TrafficProgram program;
+  program.add_flow(0, 3, kBps);
+  EXPECT_NEAR(engine.run(program).makespan, 1.0, 1e-5);
+}
+
+TEST(EngineLatency, LatencyBoundFlowTakesPipelineFill) {
+  // A tiny message over 3 hops with 1 ms/hop: completion = 3 ms.
+  const TorusTopology torus({8});
+  FlowEngine engine(torus, with_latency(1e-3));
+  TrafficProgram program;
+  program.add_flow(0, 3, 8.0);  // 8 bytes: transfer time ~6.4 ns
+  EXPECT_NEAR(engine.run(program).makespan, 3e-3, 1e-9);
+}
+
+TEST(EngineLatency, LatencyScalesWithHops) {
+  const TorusTopology torus({16});
+  FlowEngine engine(torus, with_latency(1e-3));
+  for (const std::uint32_t dst : {1u, 4u, 8u}) {
+    TrafficProgram program;
+    program.add_flow(0, dst, 8.0);
+    EXPECT_NEAR(engine.run(program).makespan, dst * 1e-3, 1e-9) << dst;
+  }
+}
+
+TEST(EngineLatency, SelfFlowHasNoHopLatency) {
+  const TorusTopology torus({8});
+  FlowEngine engine(torus, with_latency(1e-3));
+  TrafficProgram program;
+  program.add_flow(2, 2, 8.0);  // NIC links only
+  EXPECT_LT(engine.run(program).makespan, 1e-6);
+}
+
+TEST(EngineLatency, ChainsAccumulateLatency) {
+  // 4 dependent 1-hop messages at 1 ms/hop: >= 4 ms regardless of size.
+  const TorusTopology torus({8});
+  FlowEngine engine(torus, with_latency(1e-3));
+  TrafficProgram program;
+  FlowIndex prev = kInvalidFlow;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    const auto f = program.add_flow(i, i + 1, 8.0);
+    if (prev != kInvalidFlow) program.add_dependency(prev, f);
+    prev = f;
+  }
+  EXPECT_NEAR(engine.run(program).makespan, 4e-3, 1e-9);
+}
+
+TEST(EngineLatency, MakespanIsMonotoneInLatency) {
+  const auto topo = make_topology("nestghc:128,2,4");
+  TrafficProgram program;
+  for (std::uint32_t i = 0; i < 128; ++i) {
+    program.add_flow(i, (i * 29 + 3) % 128, 4096.0);
+  }
+  double previous = 0.0;
+  for (const double latency : {0.0, 1e-7, 1e-6, 1e-5}) {
+    FlowEngine engine(*topo, with_latency(latency));
+    const double makespan = engine.run(program).makespan;
+    EXPECT_GE(makespan, previous * (1 - 1e-9)) << latency;
+    previous = makespan;
+  }
+}
+
+TEST(EngineLatency, ShortPathTopologyWinsOnSmallMessages) {
+  // The Fig. 5 mechanism in miniature: with per-hop latency and small
+  // wavefront messages, the 1-hop torus beats the 2x3-hop fat-tree.
+  const auto torus = make_reference_torus(512);
+  const auto fattree = make_reference_fattree(512);
+  const Sweep3DWorkload sweep;
+  WorkloadContext context;
+  context.num_tasks = 512;
+  context.seed = 2;
+  const auto program = sweep.generate(context);
+  FlowEngine torus_engine(*torus, with_latency(1e-6));
+  FlowEngine tree_engine(*fattree, with_latency(1e-6));
+  EXPECT_LT(torus_engine.run(program).makespan,
+            tree_engine.run(program).makespan);
+}
+
+// ---------------------------------------------------------------- adaptive
+
+TEST(AdaptiveRouting, NeverChangesHopCount) {
+  // Adaptive paths are minimal: same hop count as the deterministic route
+  // even under (synthetic) load.
+  const auto topo = make_topology("nesttree:512,2,2");
+  std::vector<std::uint32_t> loads_storage(topo->graph().num_links());
+  for (std::size_t i = 0; i < loads_storage.size(); ++i) {
+    loads_storage[i] = static_cast<std::uint32_t>(i % 7);
+  }
+  std::vector<double> caps(topo->graph().num_links(), kDefaultLinkBps);
+  LinkLoads loads(loads_storage, caps);
+  Path det, ada;
+  for (std::uint32_t s = 0; s < 64; ++s) {
+    const std::uint32_t d = 511 - s;
+    topo->route(s, d, det);
+    topo->route_adaptive(s, d, ada, loads);
+    EXPECT_EQ(det.links.size(), ada.links.size()) << s;
+  }
+}
+
+TEST(AdaptiveRouting, UnloadedAdaptiveEqualsDeterministic) {
+  // With zero load everywhere the tie-break reduces to d-mod-k exactly.
+  const auto topo = make_topology("fattree:4,4,4");
+  std::vector<std::uint32_t> zeros(topo->graph().num_links(), 0);
+  std::vector<double> caps(topo->graph().num_links(), kDefaultLinkBps);
+  LinkLoads loads(zeros, caps);
+  Path det, ada;
+  for (std::uint32_t s = 0; s < topo->num_endpoints(); s += 7) {
+    for (std::uint32_t d = 0; d < topo->num_endpoints(); d += 5) {
+      topo->route(s, d, det);
+      topo->route_adaptive(s, d, ada, loads);
+      EXPECT_EQ(det.links, ada.links) << s << "->" << d;
+    }
+  }
+}
+
+TEST(AdaptiveRouting, ImprovesFattreePermutationTraffic) {
+  const auto topo = make_reference_fattree(512);
+  TrafficProgram program;
+  // A random-ish permutation: src -> bit-reversed src.
+  for (std::uint32_t s = 0; s < 512; ++s) {
+    std::uint32_t d = 0;
+    for (int b = 0; b < 9; ++b) d |= ((s >> b) & 1u) << (8 - b);
+    if (d != s) program.add_flow(s, d, 65536.0);
+  }
+  EngineOptions det_options;
+  det_options.adaptive_routing = false;
+  FlowEngine det(*topo, det_options);
+  FlowEngine ada(*topo);
+  EXPECT_LT(ada.run(program).makespan, det.run(program).makespan);
+}
+
+TEST(AdaptiveRouting, NoEffectOnTorus) {
+  // DOR has no path diversity: adaptive and deterministic must agree.
+  const auto topo = make_reference_torus(256);
+  TrafficProgram program;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    program.add_flow(i, (i + 100) % 256, 32768.0);
+  }
+  EngineOptions det_options;
+  det_options.adaptive_routing = false;
+  FlowEngine det(*topo, det_options);
+  FlowEngine ada(*topo);
+  EXPECT_DOUBLE_EQ(ada.run(program).makespan, det.run(program).makespan);
+}
+
+}  // namespace
+}  // namespace nestflow

@@ -1,0 +1,158 @@
+// Stress and cross-validation tests for the engine: randomized programs
+// checked against the reference max-min solver and against analytic
+// serialisation bounds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "flowsim/engine.hpp"
+#include "flowsim/maxmin.hpp"
+#include "flowsim/metrics.hpp"
+#include "topo/factory.hpp"
+#include "util/prng.hpp"
+
+namespace nestflow {
+namespace {
+
+constexpr double kBps = kDefaultLinkBps;
+
+/// The engine's very first rate allocation must equal the reference solver
+/// run on the same flows/paths (same algorithm, different bookkeeping).
+TEST(EngineStress, FirstAllocationMatchesReferenceSolver) {
+  const auto topo = make_topology("nestghc:128,2,2");
+  Prng prng(31);
+  TrafficProgram program;
+  std::vector<std::vector<LinkId>> paths;
+  Path scratch;
+  for (int i = 0; i < 40; ++i) {
+    const auto s = static_cast<std::uint32_t>(prng.next_below(128));
+    auto d = static_cast<std::uint32_t>(prng.next_below(127));
+    if (d >= s) ++d;
+    // Equal sizes: every flow is still active at the first completion.
+    program.add_flow(s, d, 1e6);
+    topo->route(s, d, scratch);
+    std::vector<LinkId> full_path;
+    full_path.push_back(topo->graph().injection_link(s));
+    full_path.insert(full_path.end(), scratch.links.begin(),
+                     scratch.links.end());
+    full_path.push_back(topo->graph().consumption_link(d));
+    paths.push_back(std::move(full_path));
+  }
+
+  std::vector<double> capacities(topo->graph().num_links());
+  for (LinkId l = 0; l < capacities.size(); ++l) {
+    capacities[l] = topo->graph().link(l).capacity_bps;
+  }
+  const auto reference = maxmin_fair_rates(capacities, paths);
+  // First completion = min over flows of bytes / reference rate.
+  double expected_first = std::numeric_limits<double>::infinity();
+  for (const double r : reference) {
+    expected_first = std::min(expected_first, 1e6 / r);
+  }
+
+  EngineOptions options;
+  options.record_flow_times = true;
+  options.adaptive_routing = false;  // keep paths identical to `paths`
+  FlowEngine engine(*topo, options);
+  const auto result = engine.run(program);
+  double first_finish = std::numeric_limits<double>::infinity();
+  for (const double t : result.flow_finish_times) {
+    first_finish = std::min(first_finish, t);
+  }
+  EXPECT_NEAR(first_finish, expected_first, expected_first * 1e-6);
+}
+
+/// Randomised programs: makespan sits between the max-min lower bounds and
+/// the fully-serialised upper bound.
+TEST(EngineStress, MakespanBracketedByBounds) {
+  const auto topo = make_topology("nesttree:128,2,4");
+  Prng prng(77);
+  for (int trial = 0; trial < 5; ++trial) {
+    TrafficProgram program;
+    std::vector<FlowIndex> previous_phase;
+    double serial_upper = 0.0;
+    for (int phase = 0; phase < 3; ++phase) {
+      std::vector<FlowIndex> current;
+      for (int i = 0; i < 30; ++i) {
+        const auto s = static_cast<std::uint32_t>(prng.next_below(128));
+        auto d = static_cast<std::uint32_t>(prng.next_below(127));
+        if (d >= s) ++d;
+        const double bytes = 1e4 + prng.next_double() * 1e6;
+        current.push_back(program.add_flow(s, d, bytes));
+        serial_upper += bytes / kBps;  // one flow at a time, NIC-bound
+      }
+      if (!previous_phase.empty()) {
+        program.add_barrier(previous_phase, current);
+      }
+      previous_phase = std::move(current);
+    }
+    const auto load = static_load(*topo, program);
+    const double critical = critical_path_seconds(*topo, program);
+    FlowEngine engine(*topo);
+    const double makespan = engine.run(program).makespan;
+    EXPECT_GE(makespan, load.max_link_seconds * (1 - 1e-9)) << trial;
+    EXPECT_GE(makespan, critical * (1 - 1e-9)) << trial;
+    EXPECT_LE(makespan, serial_upper * (1 + 1e-9)) << trial;
+  }
+}
+
+/// A run with thousands of dependency edges, mixed weights, latency and
+/// releases completes and respects ordering.
+TEST(EngineStress, KitchenSinkRunCompletes) {
+  const auto topo = make_topology("nestghc:128,4,2");
+  Prng prng(5);
+  TrafficProgram program;
+  std::vector<FlowIndex> flows;
+  for (int i = 0; i < 400; ++i) {
+    const auto s = static_cast<std::uint32_t>(prng.next_below(128));
+    auto d = static_cast<std::uint32_t>(prng.next_below(127));
+    if (d >= s) ++d;
+    const auto f = program.add_flow(s, d, 1e4 + prng.next_double() * 1e5,
+                                    prng.next_double() * 1e-4);
+    program.set_flow_weight(f, 0.5 + prng.next_double() * 3.0);
+    flows.push_back(f);
+    // Random backward dependencies keep the DAG acyclic.
+    if (i > 0 && prng.next_bool(0.3)) {
+      program.add_dependency(flows[prng.next_below(i)], f);
+    }
+  }
+  EngineOptions options;
+  options.record_flow_times = true;
+  options.hop_latency_seconds = 5e-7;
+  options.rate_quantum_rel = 0.01;
+  FlowEngine engine(*topo, options);
+  const auto result = engine.run(program);
+  EXPECT_GT(result.makespan, 0.0);
+  // Dependencies respected in the recorded finish times.
+  for (const auto& [before, after] : program.dependencies()) {
+    EXPECT_LE(result.flow_finish_times[before],
+              result.flow_finish_times[after] * (1 + 1e-9));
+  }
+  // Releases respected.
+  for (FlowIndex f = 0; f < program.num_flows(); ++f) {
+    EXPECT_GE(result.flow_finish_times[f],
+              program.flow(f).release_seconds * (1 - 1e-9));
+  }
+  // Deterministic on rerun.
+  const auto again = engine.run(program);
+  EXPECT_DOUBLE_EQ(result.makespan, again.makespan);
+}
+
+/// The same program gives identical results whether or not the engine was
+/// used for something else in between (scratch-state isolation).
+TEST(EngineStress, ScratchStateIsolation) {
+  const auto topo = make_topology("fattree:8,8");
+  TrafficProgram small;
+  small.add_flow(0, 9, 12345.0);
+  TrafficProgram big;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    big.add_flow(i, 63 - i == i ? (i + 1) % 64 : 63 - i, 1e5);
+  }
+  FlowEngine engine(*topo);
+  const double first = engine.run(small).makespan;
+  (void)engine.run(big);
+  EXPECT_DOUBLE_EQ(engine.run(small).makespan, first);
+}
+
+}  // namespace
+}  // namespace nestflow

@@ -1,0 +1,65 @@
+#include "topo/factory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nestflow {
+namespace {
+
+TEST(Factory, TorusSpec) {
+  const auto topo = make_topology("torus:4x4x2");
+  EXPECT_EQ(topo->name(), "Torus3D(4x4x2)");
+  EXPECT_EQ(topo->num_endpoints(), 32u);
+}
+
+TEST(Factory, FattreeSpec) {
+  const auto topo = make_topology("fattree:4,4");
+  EXPECT_EQ(topo->name(), "Fattree(4,4)");
+  EXPECT_EQ(topo->num_endpoints(), 16u);
+}
+
+TEST(Factory, GhcSpec) {
+  const auto topo = make_topology("ghc:4x4");
+  EXPECT_EQ(topo->name(), "GHC(4x4)");
+  EXPECT_EQ(topo->num_endpoints(), 16u);
+}
+
+TEST(Factory, NestedSpecs) {
+  EXPECT_EQ(make_topology("nesttree:128,2,4")->name(), "NestTree(t=2,u=4)");
+  EXPECT_EQ(make_topology("nestghc:128,4,2")->name(), "NestGHC(t=4,u=2)");
+}
+
+TEST(Factory, RejectsMalformedSpecs) {
+  EXPECT_THROW(make_topology("torus"), std::invalid_argument);
+  EXPECT_THROW(make_topology("torus:"), std::invalid_argument);
+  EXPECT_THROW(make_topology("torus:4xAx2"), std::invalid_argument);
+  EXPECT_THROW(make_topology("hypercube:8"), std::invalid_argument);
+  EXPECT_THROW(make_topology("nesttree:128,2"), std::invalid_argument);
+  EXPECT_THROW(make_topology("nesttree:128,2,3"), std::invalid_argument);
+}
+
+TEST(Factory, ReferenceTorus) {
+  const auto topo = make_reference_torus(4096);
+  EXPECT_EQ(topo->name(), "Torus3D(16x16x16)");
+}
+
+TEST(Factory, ReferenceFattree) {
+  const auto topo = make_reference_fattree(1024);
+  EXPECT_EQ(topo->name(), "Fattree(32,32)");
+  EXPECT_EQ(topo->num_endpoints(), 1024u);
+}
+
+TEST(Factory, MakeNestedUsesBalancedDims) {
+  const auto topo = make_nested(4096, 4, 2, UpperTierKind::kFattree);
+  EXPECT_EQ(topo->global_shape().dims(),
+            (std::vector<std::uint32_t>{16, 16, 16}));
+  EXPECT_EQ(topo->num_subtori(), 64u);
+}
+
+TEST(Factory, MakeNestedRejectsIndivisible) {
+  // 256 = 8x8x4; t=8 does not divide the 4.
+  EXPECT_THROW(make_nested(256, 8, 1, UpperTierKind::kGhc),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nestflow

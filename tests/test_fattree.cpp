@@ -1,0 +1,143 @@
+#include "topo/fattree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/bfs.hpp"
+#include "graph/validation.hpp"
+
+namespace nestflow {
+namespace {
+
+TEST(FattreeArities, PaperRuleFullScale) {
+  // Table 2: the reference fat-tree over 131,072 endpoints has 9216
+  // switches; the arity rule (32, 32, 128) delivers exactly that.
+  const auto arities = paper_fattree_arities(131072);
+  EXPECT_EQ(arities, (std::vector<std::uint32_t>{32, 32, 128}));
+  std::uint64_t switches = 0;
+  for (const auto d : arities) switches += 131072 / d;
+  EXPECT_EQ(switches, 9216u);
+}
+
+TEST(FattreeArities, PaperRuleUplinkTiers) {
+  // Table 2 NestTree upper-tier switch counts for u = 8, 4, 2, 1.
+  const std::map<std::uint64_t, std::uint64_t> expected = {
+      {131072 / 8, 2048}, {131072 / 4, 3072}, {131072 / 2, 5120},
+      {131072 / 1, 9216}};
+  for (const auto& [leaves, switches] : expected) {
+    std::uint64_t total = 0;
+    for (const auto d : paper_fattree_arities(leaves)) total += leaves / d;
+    EXPECT_EQ(total, switches) << "U=" << leaves;
+  }
+}
+
+TEST(FattreeArities, SmallSizes) {
+  EXPECT_EQ(paper_fattree_arities(16), (std::vector<std::uint32_t>{16}));
+  EXPECT_EQ(paper_fattree_arities(32), (std::vector<std::uint32_t>{32}));
+  EXPECT_EQ(paper_fattree_arities(1024), (std::vector<std::uint32_t>{32, 32}));
+  EXPECT_EQ(paper_fattree_arities(4096),
+            (std::vector<std::uint32_t>{32, 32, 4}));
+}
+
+TEST(Fattree, KAry3TreeCounts) {
+  // 4-ary 3-tree: 64 endpoints, 3 * 16 = 48 switches.
+  const FatTreeTopology tree({4, 4, 4});
+  EXPECT_EQ(tree.num_endpoints(), 64u);
+  EXPECT_EQ(tree.graph().num_switches(), 48u);
+  EXPECT_EQ(tree.tier().num_switches(), 48u);
+  // Links: 64 leaf cables + 2 stages * 64 = 192 cables.
+  EXPECT_EQ(tree.graph().num_transit_links(), 2u * 192u);
+}
+
+TEST(Fattree, Validates) {
+  for (const auto& arities : std::vector<std::vector<std::uint32_t>>{
+           {4}, {4, 4}, {2, 3, 4}, {4, 4, 4}, {8, 2}}) {
+    const FatTreeTopology tree(arities);
+    const auto report = validate_graph(tree.graph());
+    EXPECT_TRUE(report.ok()) << tree.name() << ": " << report.to_string();
+  }
+}
+
+TEST(Fattree, RouteMatchesBfsEverywhere) {
+  // UP*/DOWN* on a non-blocking tree is minimal: routed == BFS distance.
+  const FatTreeTopology tree({4, 4, 2});
+  BfsScratch bfs;
+  Path path;
+  for (std::uint32_t s = 0; s < tree.num_endpoints(); ++s) {
+    bfs.run(tree.graph(), s);
+    for (std::uint32_t d = 0; d < tree.num_endpoints(); ++d) {
+      tree.route(s, d, path);
+      EXPECT_EQ(path.hops(), bfs.distances()[d]) << s << "->" << d;
+      EXPECT_EQ(path.hops(), tree.route_distance(s, d));
+    }
+  }
+}
+
+TEST(Fattree, RouteShapeIsUpThenDown) {
+  const FatTreeTopology tree({4, 4, 4});
+  Path path;
+  tree.route(0, 63, path);  // differ in top digit: full height
+  EXPECT_EQ(path.hops(), 6u);
+  // Leaves at both ends, switches in between.
+  const auto& g = tree.graph();
+  EXPECT_EQ(g.link(path.links.front()).src, 0u);
+  EXPECT_EQ(g.link(path.links.back()).dst, 63u);
+  for (std::size_t i = 1; i + 1 < path.links.size(); ++i) {
+    EXPECT_EQ(g.node_kind(g.link(path.links[i]).src), NodeKind::kSwitch);
+  }
+}
+
+TEST(Fattree, SameLeafSwitchPairsAreTwoHops) {
+  const FatTreeTopology tree({4, 4});
+  // Leaves 0..3 share the first stage-1 switch.
+  EXPECT_EQ(tree.route_distance(0, 1), 2u);
+  EXPECT_EQ(tree.route_distance(0, 3), 2u);
+  EXPECT_EQ(tree.route_distance(0, 4), 4u);  // different leaf switch
+}
+
+TEST(Fattree, SingleStage) {
+  const FatTreeTopology tree({8});
+  EXPECT_EQ(tree.num_endpoints(), 8u);
+  EXPECT_EQ(tree.graph().num_switches(), 1u);
+  EXPECT_EQ(tree.route_distance(0, 7), 2u);
+}
+
+TEST(Fattree, PermutationTrafficIsNonConflicting) {
+  // The non-blocking claim: under d-mod-k routing, a shift permutation
+  // loads every link with at most one flow.
+  const FatTreeTopology tree({4, 4});
+  std::vector<std::uint32_t> link_load(tree.graph().num_links(), 0);
+  Path path;
+  const std::uint32_t n = tree.num_endpoints();
+  for (std::uint32_t s = 0; s < n; ++s) {
+    tree.route(s, (s + 5) % n, path);
+    for (const LinkId l : path.links) ++link_load[l];
+  }
+  for (const auto load : link_load) EXPECT_LE(load, 1u);
+}
+
+TEST(Fattree, RejectsBadConfigs) {
+  GraphBuilder builder;
+  std::vector<NodeId> leaves = {builder.add_node(NodeKind::kEndpoint)};
+  EXPECT_THROW(FattreeTier(builder, leaves, {}, 1.0, LinkClass::kUplink),
+               std::invalid_argument);
+  EXPECT_THROW(FattreeTier(builder, leaves, {1}, 1.0, LinkClass::kUplink),
+               std::invalid_argument);
+  EXPECT_THROW(FattreeTier(builder, leaves, {4}, 1.0, LinkClass::kUplink),
+               std::invalid_argument);  // leaf count mismatch
+}
+
+TEST(Fattree, AdversarialPairAttainsDiameter) {
+  const FatTreeTopology tree({2, 2, 2, 2});
+  const auto pairs = tree.adversarial_pairs();
+  ASSERT_FALSE(pairs.empty());
+  EXPECT_EQ(tree.route_distance(pairs[0].first, pairs[0].second), 8u);
+}
+
+TEST(Fattree, Name) {
+  EXPECT_EQ(FatTreeTopology({4, 4}).name(), "Fattree(4,4)");
+}
+
+}  // namespace
+}  // namespace nestflow

@@ -1,0 +1,129 @@
+#include "topo/ghc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/bfs.hpp"
+#include "graph/validation.hpp"
+
+namespace nestflow {
+namespace {
+
+TEST(GhcDims, PaperRuleFullScale) {
+  // Table 2 NestGHC upper-tier switch counts for u = 8, 4, 2, 1: the
+  // most-balanced 3-way power-of-two factorisation reproduces them all.
+  const std::map<std::uint64_t, std::uint64_t> expected = {
+      {131072 / 8, 2048}, {131072 / 4, 3072}, {131072 / 2, 5120},
+      {131072 / 1, 8192}};
+  for (const auto& [servers, switches] : expected) {
+    std::uint64_t total = 0;
+    for (const auto d : balanced_ghc_dims(servers)) {
+      if (d >= 2) total += servers / d;
+    }
+    EXPECT_EQ(total, switches) << "U=" << servers;
+  }
+}
+
+TEST(GhcDims, AscendingBalanced) {
+  EXPECT_EQ(balanced_ghc_dims(131072), (std::vector<std::uint32_t>{32, 64, 64}));
+  EXPECT_EQ(balanced_ghc_dims(32768), (std::vector<std::uint32_t>{32, 32, 32}));
+  EXPECT_EQ(balanced_ghc_dims(8), (std::vector<std::uint32_t>{2, 2, 2}));
+  EXPECT_EQ(balanced_ghc_dims(4), (std::vector<std::uint32_t>{1, 2, 2}));
+}
+
+TEST(GhcDims, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(balanced_ghc_dims(24), std::invalid_argument);
+}
+
+TEST(Ghc, SwitchAndLinkCounts) {
+  // 4-ary 2-GHC (the paper's Fig. 2b example): 16 servers, 4 + 4 switches,
+  // one cable per server per dimension.
+  const GhcTopology ghc({4, 4});
+  EXPECT_EQ(ghc.num_endpoints(), 16u);
+  EXPECT_EQ(ghc.graph().num_switches(), 8u);
+  EXPECT_EQ(ghc.graph().num_transit_links(), 2u * 16u * 2u);
+}
+
+TEST(Ghc, SizeOneDimsContributeNothing) {
+  const GhcTopology ghc({1, 4, 4});
+  EXPECT_EQ(ghc.num_endpoints(), 16u);
+  EXPECT_EQ(ghc.graph().num_switches(), 8u);
+}
+
+TEST(Ghc, Validates) {
+  for (const auto& dims : std::vector<std::vector<std::uint32_t>>{
+           {4}, {2, 2}, {4, 4}, {2, 3, 4}, {4, 4, 4}}) {
+    const GhcTopology ghc(dims);
+    const auto report = validate_graph(ghc.graph());
+    EXPECT_TRUE(report.ok()) << ghc.name() << ": " << report.to_string();
+  }
+}
+
+TEST(Ghc, RouteMatchesBfsEverywhere) {
+  // e-cube is minimal in the switch-based GHC: 2 hops per differing digit.
+  const GhcTopology ghc({3, 4, 2});
+  BfsScratch bfs;
+  Path path;
+  for (std::uint32_t s = 0; s < ghc.num_endpoints(); ++s) {
+    bfs.run(ghc.graph(), s);
+    for (std::uint32_t d = 0; d < ghc.num_endpoints(); ++d) {
+      ghc.route(s, d, path);
+      EXPECT_EQ(path.hops(), bfs.distances()[d]) << s << "->" << d;
+      EXPECT_EQ(path.hops(), ghc.route_distance(s, d));
+    }
+  }
+}
+
+TEST(Ghc, RouteDistanceIsTwiceHamming) {
+  const GhcTopology ghc({4, 4, 4});
+  EXPECT_EQ(ghc.route_distance(0, 1), 2u);     // one digit differs
+  EXPECT_EQ(ghc.route_distance(0, 5), 4u);     // two digits
+  EXPECT_EQ(ghc.route_distance(0, 21), 6u);    // all three digits
+  EXPECT_EQ(ghc.route_distance(9, 9), 0u);
+}
+
+TEST(Ghc, RouteAlternatesServerSwitch) {
+  const GhcTopology ghc({4, 4});
+  Path path;
+  ghc.route(0, 15, path);  // both digits differ: s-sw-s-sw-s
+  ASSERT_EQ(path.hops(), 4u);
+  const auto& g = ghc.graph();
+  EXPECT_EQ(g.node_kind(g.link(path.links[0]).dst), NodeKind::kSwitch);
+  EXPECT_EQ(g.node_kind(g.link(path.links[1]).dst), NodeKind::kEndpoint);
+  EXPECT_EQ(g.node_kind(g.link(path.links[2]).dst), NodeKind::kSwitch);
+  EXPECT_EQ(g.link(path.links[3]).dst, 15u);
+}
+
+TEST(Ghc, GroupOfRemovesDigit) {
+  GraphBuilder builder;
+  const NodeId first = builder.add_nodes(NodeKind::kEndpoint, 24);
+  std::vector<NodeId> servers(24);
+  for (std::size_t i = 0; i < 24; ++i) servers[i] = first + i;
+  const GhcTier tier(builder, servers, {4, 3, 2}, 1.0, LinkClass::kUplink);
+  // Server (1,2,1) has index 1 + 4*2 + 12*1 = 21.
+  EXPECT_EQ(tier.group_of(21, 0), 2u + 3u * 1u);  // digits (2,1) over (3,2)
+  EXPECT_EQ(tier.group_of(21, 1), 1u + 4u * 1u);  // digits (1,1) over (4,2)
+  EXPECT_EQ(tier.group_of(21, 2), 1u + 4u * 2u);  // digits (1,2) over (4,3)
+}
+
+TEST(Ghc, TierRejectsMismatchedServers) {
+  GraphBuilder builder;
+  std::vector<NodeId> servers = {builder.add_node(NodeKind::kEndpoint)};
+  EXPECT_THROW(GhcTier(builder, servers, {4, 4}, 1.0, LinkClass::kUplink),
+               std::invalid_argument);
+}
+
+TEST(Ghc, AdversarialPairAttainsDiameter) {
+  const GhcTopology ghc({4, 4, 4});
+  const auto pairs = ghc.adversarial_pairs();
+  ASSERT_FALSE(pairs.empty());
+  EXPECT_EQ(ghc.route_distance(pairs[0].first, pairs[0].second), 6u);
+}
+
+TEST(Ghc, Name) {
+  EXPECT_EQ(GhcTopology({4, 4}).name(), "GHC(4x4)");
+}
+
+}  // namespace
+}  // namespace nestflow

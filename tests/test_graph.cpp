@@ -1,0 +1,169 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/validation.hpp"
+
+namespace nestflow {
+namespace {
+
+Graph triangle() {
+  GraphBuilder builder;
+  builder.add_nodes(NodeKind::kEndpoint, 3);
+  builder.add_duplex(0, 1, 100.0, LinkClass::kTorus);
+  builder.add_duplex(1, 2, 100.0, LinkClass::kTorus);
+  builder.add_duplex(2, 0, 100.0, LinkClass::kTorus);
+  return std::move(builder).build(50.0);
+}
+
+TEST(Graph, NodeAndLinkCounts) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_endpoints(), 3u);
+  EXPECT_EQ(g.num_switches(), 0u);
+  EXPECT_EQ(g.num_transit_links(), 6u);     // 3 cables, both directions
+  EXPECT_EQ(g.num_links(), 6u + 3u * 2u);   // plus 2 NIC links per endpoint
+}
+
+TEST(Graph, DuplexPairing) {
+  const Graph g = triangle();
+  for (LinkId l = 0; l < g.num_transit_links(); ++l) {
+    const auto& link = g.link(l);
+    ASSERT_NE(link.reverse, kInvalidLink);
+    const auto& rev = g.link(link.reverse);
+    EXPECT_EQ(rev.src, link.dst);
+    EXPECT_EQ(rev.dst, link.src);
+    EXPECT_EQ(rev.reverse, l);
+    EXPECT_DOUBLE_EQ(rev.capacity_bps, link.capacity_bps);
+  }
+}
+
+TEST(Graph, FindLinkFindsAllEdges) {
+  const Graph g = triangle();
+  for (NodeId a = 0; a < 3; ++a) {
+    for (NodeId b = 0; b < 3; ++b) {
+      const LinkId l = g.find_link(a, b);
+      if (a == b) {
+        EXPECT_EQ(l, kInvalidLink);
+      } else {
+        ASSERT_NE(l, kInvalidLink);
+        EXPECT_EQ(g.link(l).src, a);
+        EXPECT_EQ(g.link(l).dst, b);
+      }
+    }
+  }
+}
+
+TEST(Graph, AdjacencySortedByDestination) {
+  GraphBuilder builder;
+  builder.add_nodes(NodeKind::kEndpoint, 5);
+  builder.add_duplex(0, 4, 1.0, LinkClass::kTorus);
+  builder.add_duplex(0, 2, 1.0, LinkClass::kTorus);
+  builder.add_duplex(0, 1, 1.0, LinkClass::kTorus);
+  builder.add_duplex(0, 3, 1.0, LinkClass::kTorus);
+  builder.add_duplex(1, 2, 1.0, LinkClass::kTorus);  // keep graph connected
+  const Graph g = std::move(builder).build(1.0);
+  const auto out = g.out_links(0);
+  ASSERT_EQ(out.size(), 4u);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LT(g.link(out[i - 1]).dst, g.link(out[i]).dst);
+  }
+}
+
+TEST(Graph, NicLinksPerEndpoint) {
+  const Graph g = triangle();
+  for (NodeId n = 0; n < 3; ++n) {
+    const LinkId inj = g.injection_link(n);
+    const LinkId cons = g.consumption_link(n);
+    EXPECT_NE(inj, kInvalidLink);
+    EXPECT_NE(cons, kInvalidLink);
+    EXPECT_NE(inj, cons);
+    EXPECT_EQ(g.link(inj).link_class, LinkClass::kInjection);
+    EXPECT_EQ(g.link(cons).link_class, LinkClass::kConsumption);
+    EXPECT_DOUBLE_EQ(g.link(inj).capacity_bps, 50.0);
+  }
+}
+
+TEST(Graph, SwitchesHaveNoNicLinks) {
+  GraphBuilder builder;
+  builder.add_node(NodeKind::kEndpoint);
+  builder.add_node(NodeKind::kSwitch);
+  builder.add_duplex(0, 1, 1.0, LinkClass::kUplink);
+  const Graph g = std::move(builder).build(1.0);
+  EXPECT_EQ(g.num_endpoints(), 1u);
+  EXPECT_EQ(g.num_switches(), 1u);
+  EXPECT_EQ(g.num_links(), 2u + 2u);  // duplex + 1 endpoint's NIC pair
+}
+
+TEST(GraphBuilder, RejectsBadLinks) {
+  GraphBuilder builder;
+  builder.add_nodes(NodeKind::kEndpoint, 2);
+  EXPECT_THROW(builder.add_link(0, 5, 1.0, LinkClass::kTorus),
+               std::out_of_range);
+  EXPECT_THROW(builder.add_link(0, 1, 0.0, LinkClass::kTorus),
+               std::invalid_argument);
+  EXPECT_THROW(builder.add_link(0, 1, -1.0, LinkClass::kTorus),
+               std::invalid_argument);
+}
+
+TEST(GraphBuilder, RejectsBadNicCapacity) {
+  GraphBuilder builder;
+  builder.add_node(NodeKind::kEndpoint);
+  EXPECT_THROW(std::move(builder).build(0.0), std::invalid_argument);
+}
+
+TEST(Validation, AcceptsGoodGraph) {
+  const auto report = validate_graph(triangle());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Validation, DetectsDisconnected) {
+  GraphBuilder builder;
+  builder.add_nodes(NodeKind::kEndpoint, 4);
+  builder.add_duplex(0, 1, 1.0, LinkClass::kTorus);
+  builder.add_duplex(2, 3, 1.0, LinkClass::kTorus);
+  const auto report = validate_graph(std::move(builder).build(1.0));
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("not connected"), std::string::npos);
+}
+
+TEST(Validation, DetectsParallelLinks) {
+  GraphBuilder builder;
+  builder.add_nodes(NodeKind::kEndpoint, 2);
+  builder.add_duplex(0, 1, 1.0, LinkClass::kTorus);
+  builder.add_duplex(0, 1, 1.0, LinkClass::kTorus);
+  const auto report = validate_graph(std::move(builder).build(1.0));
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("parallel"), std::string::npos);
+}
+
+TEST(Validation, DetectsFloatingSwitch) {
+  GraphBuilder builder;
+  builder.add_nodes(NodeKind::kEndpoint, 2);
+  builder.add_node(NodeKind::kSwitch);
+  builder.add_duplex(0, 1, 1.0, LinkClass::kTorus);
+  const auto report = validate_graph(std::move(builder).build(1.0));
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("no outgoing links"), std::string::npos);
+}
+
+TEST(Validation, DetectsTransitSelfLoop) {
+  GraphBuilder builder;
+  builder.add_nodes(NodeKind::kEndpoint, 2);
+  builder.add_duplex(0, 1, 1.0, LinkClass::kTorus);
+  builder.add_link(1, 1, 1.0, LinkClass::kTorus);
+  const auto report = validate_graph(std::move(builder).build(1.0));
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("self-loop"), std::string::npos);
+}
+
+TEST(LinkClass, Names) {
+  EXPECT_EQ(to_string(LinkClass::kInjection), "injection");
+  EXPECT_EQ(to_string(LinkClass::kConsumption), "consumption");
+  EXPECT_EQ(to_string(LinkClass::kTorus), "torus");
+  EXPECT_EQ(to_string(LinkClass::kUplink), "uplink");
+  EXPECT_EQ(to_string(LinkClass::kUpper), "upper");
+}
+
+}  // namespace
+}  // namespace nestflow

@@ -1,0 +1,95 @@
+// Randomised property tests for the graph substrate itself: CSR adjacency,
+// find_link, duplex pairing and BFS symmetry on random connected graphs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+#include "graph/validation.hpp"
+#include "util/prng.hpp"
+
+namespace nestflow {
+namespace {
+
+/// Random connected simple graph: a ring for connectivity plus random
+/// chords, all duplex.
+Graph random_graph(std::uint32_t n, std::uint32_t extra_edges,
+                   std::uint64_t seed,
+                   std::set<std::pair<NodeId, NodeId>>* edges_out = nullptr) {
+  GraphBuilder builder;
+  builder.add_nodes(NodeKind::kEndpoint, n);
+  std::set<std::pair<NodeId, NodeId>> edges;
+  for (NodeId i = 0; i < n; ++i) {
+    edges.insert({std::min(i, (i + 1) % n), std::max(i, (i + 1) % n)});
+  }
+  Prng prng(seed);
+  while (edges.size() < n + extra_edges) {
+    const auto a = static_cast<NodeId>(prng.next_below(n));
+    const auto b = static_cast<NodeId>(prng.next_below(n));
+    if (a != b) edges.insert({std::min(a, b), std::max(a, b)});
+  }
+  for (const auto& [a, b] : edges) {
+    builder.add_duplex(a, b, 1.0 + prng.next_double(), LinkClass::kTorus);
+  }
+  if (edges_out != nullptr) *edges_out = std::move(edges);
+  return std::move(builder).build(1.0);
+}
+
+class GraphPropertyTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphPropertyTest, ValidatesAndFindsEveryEdge) {
+  std::set<std::pair<NodeId, NodeId>> edges;
+  const Graph g = random_graph(40, 60, GetParam(), &edges);
+  EXPECT_TRUE(validate_graph(g).ok());
+  for (const auto& [a, b] : edges) {
+    const LinkId ab = g.find_link(a, b);
+    const LinkId ba = g.find_link(b, a);
+    ASSERT_NE(ab, kInvalidLink);
+    ASSERT_NE(ba, kInvalidLink);
+    EXPECT_EQ(g.link(ab).reverse, ba);
+    EXPECT_EQ(g.link(ba).reverse, ab);
+  }
+  // And no phantom edges: find_link agrees with the edge set.
+  Prng prng(GetParam() + 1);
+  for (int probe = 0; probe < 200; ++probe) {
+    const auto a = static_cast<NodeId>(prng.next_below(40));
+    const auto b = static_cast<NodeId>(prng.next_below(40));
+    const bool present =
+        a != b && edges.contains({std::min(a, b), std::max(a, b)});
+    EXPECT_EQ(g.find_link(a, b) != kInvalidLink, present) << a << "," << b;
+  }
+}
+
+TEST_P(GraphPropertyTest, BfsDistanceIsSymmetricOnDuplexGraphs) {
+  const Graph g = random_graph(30, 40, GetParam());
+  BfsScratch forward, backward;
+  Prng prng(GetParam() + 2);
+  for (int probe = 0; probe < 10; ++probe) {
+    const auto a = static_cast<NodeId>(prng.next_below(30));
+    const auto b = static_cast<NodeId>(prng.next_below(30));
+    forward.run(g, a);
+    backward.run(g, b);
+    EXPECT_EQ(forward.distances()[b], backward.distances()[a]);
+  }
+}
+
+TEST_P(GraphPropertyTest, BfsSatisfiesTriangleInequality) {
+  const Graph g = random_graph(25, 30, GetParam());
+  BfsScratch from_a, from_b;
+  Prng prng(GetParam() + 3);
+  const auto a = static_cast<NodeId>(prng.next_below(25));
+  const auto b = static_cast<NodeId>(prng.next_below(25));
+  from_a.run(g, a);
+  from_b.run(g, b);
+  for (NodeId c = 0; c < 25; ++c) {
+    EXPECT_LE(from_a.distances()[c],
+              from_a.distances()[b] + from_b.distances()[c]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphPropertyTest,
+                         testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace nestflow

@@ -1,0 +1,122 @@
+#include "topo/jellyfish.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "graph/validation.hpp"
+
+namespace nestflow {
+namespace {
+
+JellyfishTopology::Params small_params() {
+  JellyfishTopology::Params params;
+  params.num_switches = 16;
+  params.endpoint_ports = 2;
+  params.network_ports = 4;
+  params.seed = 7;
+  return params;
+}
+
+TEST(Jellyfish, ComponentCounts) {
+  const JellyfishTopology jf(small_params());
+  EXPECT_EQ(jf.num_endpoints(), 32u);
+  EXPECT_EQ(jf.graph().num_switches(), 16u);
+}
+
+TEST(Jellyfish, GraphIsKRegularAndValid) {
+  const JellyfishTopology jf(small_params());
+  const auto report = validate_graph(jf.graph());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  // Every switch: e endpoint ports + k network ports.
+  for (NodeId n = jf.num_endpoints(); n < jf.graph().num_nodes(); ++n) {
+    std::uint32_t network = 0, endpoint = 0;
+    for (const LinkId l : jf.graph().out_links(n)) {
+      if (jf.graph().node_kind(jf.graph().link(l).dst) == NodeKind::kSwitch) {
+        ++network;
+      } else {
+        ++endpoint;
+      }
+    }
+    EXPECT_EQ(network, 4u) << "switch " << n;
+    EXPECT_EQ(endpoint, 2u) << "switch " << n;
+  }
+}
+
+TEST(Jellyfish, DeterministicInSeed) {
+  const JellyfishTopology a(small_params());
+  const JellyfishTopology b(small_params());
+  ASSERT_EQ(a.graph().num_links(), b.graph().num_links());
+  for (LinkId l = 0; l < a.graph().num_links(); ++l) {
+    EXPECT_EQ(a.graph().link(l).src, b.graph().link(l).src);
+    EXPECT_EQ(a.graph().link(l).dst, b.graph().link(l).dst);
+  }
+}
+
+TEST(Jellyfish, DifferentSeedsDifferentWiring) {
+  auto params = small_params();
+  const JellyfishTopology a(params);
+  params.seed = 8;
+  const JellyfishTopology b(params);
+  bool any_difference = false;
+  for (LinkId l = 0; l < a.graph().num_transit_links(); ++l) {
+    any_difference |= a.graph().link(l).dst != b.graph().link(l).dst;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Jellyfish, RoutesAreShortestPaths) {
+  const JellyfishTopology jf(small_params());
+  BfsScratch bfs;
+  Path path;
+  for (std::uint32_t s = 0; s < jf.num_endpoints(); ++s) {
+    bfs.run(jf.graph(), s);
+    for (std::uint32_t d = 0; d < jf.num_endpoints(); ++d) {
+      jf.route(s, d, path);
+      EXPECT_EQ(path.hops(), bfs.distances()[d]) << s << "->" << d;
+      EXPECT_EQ(path.hops(), jf.route_distance(s, d));
+      if (s != d) {
+        NodeId current = s;
+        for (const LinkId l : path.links) {
+          ASSERT_EQ(jf.graph().link(l).src, current);
+          current = jf.graph().link(l).dst;
+        }
+        EXPECT_EQ(current, d);
+      }
+    }
+  }
+}
+
+TEST(Jellyfish, SameSwitchPairsAreTwoHops) {
+  const JellyfishTopology jf(small_params());
+  EXPECT_EQ(jf.route_distance(0, 1), 2u);  // both on switch 0
+}
+
+TEST(Jellyfish, RejectsBadParams) {
+  auto params = small_params();
+  params.network_ports = 17;  // k >= n
+  EXPECT_THROW(JellyfishTopology jf(params), std::invalid_argument);
+  params = small_params();
+  params.num_switches = 15;
+  params.network_ports = 3;  // n*k odd
+  EXPECT_THROW(JellyfishTopology jf(params), std::invalid_argument);
+}
+
+TEST(Jellyfish, LargeInstanceConnects) {
+  JellyfishTopology::Params params;
+  params.num_switches = 256;
+  params.endpoint_ports = 4;
+  params.network_ports = 8;
+  params.seed = 3;
+  const JellyfishTopology jf(params);
+  EXPECT_EQ(jf.num_endpoints(), 1024u);
+  const auto report = validate_graph(jf.graph());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Jellyfish, Name) {
+  EXPECT_EQ(JellyfishTopology(small_params()).name(),
+            "Jellyfish(n=16,e=2,k=4)");
+}
+
+}  // namespace
+}  // namespace nestflow

@@ -1,0 +1,60 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nestflow {
+namespace {
+
+/// Restores the global level after each test.
+class LogTest : public testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kInfo); }
+};
+
+TEST_F(LogTest, SetAndGetLevel) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST_F(LogTest, ParseKnownNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+}
+
+TEST_F(LogTest, UnknownNamesDefaultToInfo) {
+  EXPECT_EQ(parse_log_level("chatty"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level(""), LogLevel::kInfo);
+}
+
+// A type whose operator<< fails the test if it is ever invoked: guards
+// that suppressed messages are not even stringified.
+struct Bomb {};
+std::ostream& operator<<(std::ostream& out, const Bomb&) {
+  ADD_FAILURE() << "suppressed message was formatted";
+  return out;
+}
+
+TEST_F(LogTest, SuppressedMessagesDoNotFormat) {
+  set_log_level(LogLevel::kError);
+  log_debug("boom: ", Bomb{});
+  log_info("boom: ", Bomb{});
+  log_warn("boom: ", Bomb{});
+}
+
+TEST_F(LogTest, EmitAtOrAboveThresholdDoesNotCrash) {
+  set_log_level(LogLevel::kDebug);
+  log_debug("debug message ", 1);
+  log_info("info message ", 2.5);
+  log_warn("warn message ", "text");
+  log_error("error message");
+  set_log_level(LogLevel::kOff);
+  log_error("never shown");
+}
+
+}  // namespace
+}  // namespace nestflow

@@ -1,0 +1,134 @@
+#include "flowsim/maxmin.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.hpp"
+
+namespace nestflow {
+namespace {
+
+TEST(MaxMin, SingleLinkEvenSplit) {
+  const std::vector<double> caps = {12.0};
+  const std::vector<std::vector<LinkId>> paths = {{0}, {0}, {0}};
+  const auto rates = maxmin_fair_rates(caps, paths);
+  for (const double r : rates) EXPECT_DOUBLE_EQ(r, 4.0);
+}
+
+TEST(MaxMin, SingleFlowTakesFullCapacity) {
+  const std::vector<double> caps = {7.0, 3.0};
+  const std::vector<std::vector<LinkId>> paths = {{0, 1}};
+  const auto rates = maxmin_fair_rates(caps, paths);
+  EXPECT_DOUBLE_EQ(rates[0], 3.0);  // bottleneck is the slower link
+}
+
+TEST(MaxMin, ClassicTwoBottleneckExample) {
+  // Textbook instance: link A cap 10 shared by flows 1,2; link B cap 4
+  // crossed by flow 2 alone downstream. Flow 2 is capped at 4 by B; flow 1
+  // then gets the residual 6 on A.
+  const std::vector<double> caps = {10.0, 4.0};
+  const std::vector<std::vector<LinkId>> paths = {{0}, {0, 1}};
+  const auto rates = maxmin_fair_rates(caps, paths);
+  EXPECT_DOUBLE_EQ(rates[1], 4.0);
+  EXPECT_DOUBLE_EQ(rates[0], 6.0);
+}
+
+TEST(MaxMin, ParkingLotTopology) {
+  // Three links cap 1; one long flow over all three, one short flow per
+  // link. Long flow gets 1/2, each short flow gets 1/2.
+  const std::vector<double> caps = {1.0, 1.0, 1.0};
+  const std::vector<std::vector<LinkId>> paths = {{0, 1, 2}, {0}, {1}, {2}};
+  const auto rates = maxmin_fair_rates(caps, paths);
+  for (const double r : rates) EXPECT_DOUBLE_EQ(r, 0.5);
+}
+
+TEST(MaxMin, HeterogeneousShares) {
+  // Link 0 cap 2 with flows {a, b}; link 1 cap 10 with flows {b, c}.
+  // a = b = 1 (bottleneck link 0), c = 9 (residual of link 1).
+  const std::vector<double> caps = {2.0, 10.0};
+  const std::vector<std::vector<LinkId>> paths = {{0}, {0, 1}, {1}};
+  const auto rates = maxmin_fair_rates(caps, paths);
+  EXPECT_DOUBLE_EQ(rates[0], 1.0);
+  EXPECT_DOUBLE_EQ(rates[1], 1.0);
+  EXPECT_DOUBLE_EQ(rates[2], 9.0);
+}
+
+TEST(MaxMin, EmptyPathRejected) {
+  const std::vector<double> caps = {1.0};
+  EXPECT_THROW(maxmin_fair_rates(caps, {{}}), std::invalid_argument);
+}
+
+TEST(MaxMin, LinkOutOfRangeRejected) {
+  const std::vector<double> caps = {1.0};
+  EXPECT_THROW(maxmin_fair_rates(caps, {{3}}), std::invalid_argument);
+}
+
+TEST(MaxMin, NoFlowsIsFine) {
+  const std::vector<double> caps = {1.0};
+  EXPECT_TRUE(maxmin_fair_rates(caps, {}).empty());
+}
+
+// ------------------------------------------------------------------------
+// Property tests on random instances: feasibility and the max-min
+// bottleneck certificate (every flow crosses a saturated link on which its
+// rate is maximal — the classical optimality characterisation).
+class MaxMinPropertyTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxMinPropertyTest, FeasibleAndMaxMinOptimal) {
+  Prng prng(GetParam());
+  const std::size_t num_links = 3 + prng.next_below(20);
+  const std::size_t num_flows = 1 + prng.next_below(40);
+
+  std::vector<double> caps(num_links);
+  for (auto& c : caps) c = 1.0 + prng.next_double() * 9.0;
+
+  std::vector<std::vector<LinkId>> paths(num_flows);
+  for (auto& path : paths) {
+    const std::size_t hops = 1 + prng.next_below(std::min<std::size_t>(
+                                     num_links, 5));
+    const auto picks = prng.sample_without_replacement(num_links, hops);
+    path.assign(picks.begin(), picks.end());
+  }
+
+  const auto rates = maxmin_fair_rates(caps, paths);
+
+  // All rates strictly positive.
+  for (const double r : rates) EXPECT_GT(r, 0.0);
+
+  // Feasibility: no link oversubscribed (tiny FP tolerance).
+  std::vector<double> load(num_links, 0.0);
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    for (const LinkId l : paths[f]) load[l] += rates[f];
+  }
+  for (std::size_t l = 0; l < num_links; ++l) {
+    EXPECT_LE(load[l], caps[l] * (1.0 + 1e-9));
+  }
+
+  // Bottleneck certificate.
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    bool has_bottleneck = false;
+    for (const LinkId l : paths[f]) {
+      if (load[l] < caps[l] * (1.0 - 1e-9)) continue;  // not saturated
+      bool is_max_on_link = true;
+      for (std::size_t g = 0; g < num_flows; ++g) {
+        if (g == f) continue;
+        const bool crosses =
+            std::find(paths[g].begin(), paths[g].end(), l) != paths[g].end();
+        if (crosses && rates[g] > rates[f] * (1.0 + 1e-9)) {
+          is_max_on_link = false;
+          break;
+        }
+      }
+      if (is_max_on_link) {
+        has_bottleneck = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_bottleneck) << "flow " << f << " lacks a bottleneck";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, MaxMinPropertyTest,
+                         testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace nestflow

@@ -1,0 +1,97 @@
+#include "flowsim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/factory.hpp"
+
+namespace nestflow {
+namespace {
+
+constexpr double kBps = kDefaultLinkBps;
+
+TEST(StaticLoad, SingleFlowLoadsWholePath) {
+  const TorusTopology torus({8});
+  TrafficProgram program;
+  program.add_flow(0, 2, 1000.0);  // 2 torus hops + 2 NIC links
+  const auto report = static_load(torus, program);
+  EXPECT_DOUBLE_EQ(report.total_bytes, 1000.0);
+  EXPECT_DOUBLE_EQ(report.max_link_bytes, 1000.0);
+  EXPECT_EQ(report.links_used, 4u);
+  EXPECT_DOUBLE_EQ(report.mean_path_length, 2.0);
+  EXPECT_NEAR(report.max_link_seconds, 1000.0 / kBps, 1e-15);
+}
+
+TEST(StaticLoad, HotSpotAccumulates) {
+  const TorusTopology torus({8});
+  TrafficProgram program;
+  for (std::uint32_t s = 1; s < 8; ++s) program.add_flow(s, 0, 100.0);
+  const auto report = static_load(torus, program);
+  // The root's consumption NIC carries all 700 bytes.
+  EXPECT_DOUBLE_EQ(report.max_link_bytes, 700.0);
+}
+
+TEST(StaticLoad, SyncFlowsIgnored) {
+  const TorusTopology torus({8});
+  TrafficProgram program;
+  program.add_sync();
+  const auto report = static_load(torus, program);
+  EXPECT_DOUBLE_EQ(report.total_bytes, 0.0);
+  EXPECT_EQ(report.links_used, 0u);
+}
+
+TEST(StaticLoad, PathHistogramMatchesRoutes) {
+  const TorusTopology torus({4, 4});
+  TrafficProgram program;
+  program.add_flow(0, 1, 1.0);   // 1 hop
+  program.add_flow(0, 5, 1.0);   // 2 hops
+  program.add_flow(0, 10, 1.0);  // 4 hops (antipode)
+  const auto report = static_load(torus, program);
+  EXPECT_EQ(report.path_length_histogram.bin(1), 1u);
+  EXPECT_EQ(report.path_length_histogram.bin(2), 1u);
+  EXPECT_EQ(report.path_length_histogram.bin(4), 1u);
+  EXPECT_NEAR(report.mean_path_length, 7.0 / 3.0, 1e-12);
+}
+
+TEST(CriticalPath, ChainSumsSoloTimes) {
+  const TorusTopology torus({8});
+  TrafficProgram program;
+  const auto a = program.add_flow(0, 1, kBps);        // 1 s solo
+  const auto b = program.add_flow(1, 2, 2.0 * kBps);  // 2 s solo
+  const auto c = program.add_flow(2, 3, kBps);        // 1 s solo
+  program.add_dependency(a, b);
+  program.add_dependency(b, c);
+  EXPECT_NEAR(critical_path_seconds(torus, program), 4.0, 1e-9);
+}
+
+TEST(CriticalPath, TakesLongestBranch) {
+  const TorusTopology torus({8});
+  TrafficProgram program;
+  const auto root = program.add_flow(0, 1, kBps);
+  const auto fast = program.add_flow(1, 2, kBps / 2);
+  const auto slow = program.add_flow(1, 3, 3.0 * kBps);
+  program.add_dependency(root, fast);
+  program.add_dependency(root, slow);
+  EXPECT_NEAR(critical_path_seconds(torus, program), 4.0, 1e-9);
+}
+
+TEST(CriticalPath, SyncFlowsAreFree) {
+  const TorusTopology torus({8});
+  TrafficProgram program;
+  const auto a = program.add_flow(0, 1, kBps);
+  const auto s = program.add_sync();
+  const auto b = program.add_flow(1, 2, kBps);
+  program.add_dependency(a, s);
+  program.add_dependency(s, b);
+  EXPECT_NEAR(critical_path_seconds(torus, program), 2.0, 1e-9);
+}
+
+TEST(CriticalPath, FlatProgramIsSlowestFlow) {
+  const TorusTopology torus({8});
+  TrafficProgram program;
+  program.add_flow(0, 1, kBps);
+  program.add_flow(2, 3, 5.0 * kBps);
+  EXPECT_NEAR(critical_path_seconds(torus, program), 5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace nestflow

@@ -1,0 +1,174 @@
+// Tests for flow release times (open-loop traffic) and the
+// UniformInjection workload.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "flowsim/engine.hpp"
+#include "topo/factory.hpp"
+#include "workloads/injection.hpp"
+
+namespace nestflow {
+namespace {
+
+constexpr double kBps = kDefaultLinkBps;
+
+TEST(ReleaseTimes, FlowWaitsForItsRelease) {
+  const TorusTopology torus({8});
+  FlowEngine engine(torus);
+  TrafficProgram program;
+  program.add_flow(0, 1, kBps, /*release=*/2.0);  // 1 s transfer after t=2
+  EXPECT_NEAR(engine.run(program).makespan, 3.0, 1e-9);
+}
+
+TEST(ReleaseTimes, IdleGapsAreSkippedNotSimulated) {
+  const TorusTopology torus({8});
+  FlowEngine engine(torus);
+  TrafficProgram program;
+  program.add_flow(0, 1, kBps / 100, 0.0);
+  program.add_flow(2, 3, kBps / 100, 10.0);
+  const auto result = engine.run(program);
+  EXPECT_NEAR(result.makespan, 10.01, 1e-9);
+  EXPECT_LE(result.events, 4u);  // two bursts, no busy-waiting in between
+}
+
+TEST(ReleaseTimes, ReleaseCombinesWithDependencies) {
+  // Child starts at max(parent finish, its release).
+  const TorusTopology torus({8});
+  EngineOptions options;
+  options.record_flow_times = true;
+  FlowEngine engine(torus, options);
+  {
+    TrafficProgram program;  // parent finishes at 1.0 > release 0.5
+    const auto parent = program.add_flow(0, 1, kBps);
+    const auto child = program.add_flow(1, 2, kBps / 2, 0.5);
+    program.add_dependency(parent, child);
+    EXPECT_NEAR(engine.run(program).makespan, 1.5, 1e-9);
+  }
+  {
+    TrafficProgram program;  // release 2.0 > parent finish 1.0
+    const auto parent = program.add_flow(0, 1, kBps);
+    const auto child = program.add_flow(1, 2, kBps / 2, 2.0);
+    program.add_dependency(parent, child);
+    EXPECT_NEAR(engine.run(program).makespan, 2.5, 1e-9);
+  }
+}
+
+TEST(ReleaseTimes, LateArrivalSplitsBandwidth) {
+  // A starts alone; B arrives at t=1 on the same route. A: 2 s of work,
+  // half done when B lands, then both at half rate: A ends at 3, B (2 s of
+  // work at half rate, then full) at 4.
+  const TorusTopology torus({8});
+  EngineOptions options;
+  options.record_flow_times = true;
+  FlowEngine engine(torus, options);
+  TrafficProgram program;
+  const auto a = program.add_flow(0, 1, 2.0 * kBps, 0.0);
+  const auto b = program.add_flow(0, 1, 2.0 * kBps, 1.0);
+  const auto result = engine.run(program);
+  EXPECT_NEAR(result.flow_finish_times[a], 3.0, 1e-9);
+  EXPECT_NEAR(result.flow_finish_times[b], 4.0, 1e-9);
+}
+
+TEST(ReleaseTimes, ZeroReleaseKeepsOldBehaviour) {
+  const TorusTopology torus({8});
+  FlowEngine engine(torus);
+  TrafficProgram with_release;
+  with_release.add_flow(0, 1, kBps, 0.0);
+  TrafficProgram without;
+  without.add_flow(0, 1, kBps);
+  EXPECT_DOUBLE_EQ(engine.run(with_release).makespan,
+                   engine.run(without).makespan);
+  EXPECT_FALSE(without.has_release_times());
+  EXPECT_FALSE(with_release.has_release_times());
+}
+
+TEST(ReleaseTimes, NegativeAndNanRejected) {
+  TrafficProgram program;
+  EXPECT_THROW(program.add_flow(0, 1, 1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(program.add_flow(0, 1, 1.0, std::nan("")),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- workload
+
+TEST(UniformInjection, FlowCountTracksOfferedLoad) {
+  UniformInjectionWorkload::Params params;
+  params.offered_load = 0.5;
+  params.message_bytes = 16384;
+  params.duration_seconds = 2e-3;
+  const UniformInjectionWorkload workload(params);
+  WorkloadContext context;
+  context.num_tasks = 64;
+  context.seed = 11;
+  const auto program = workload.generate(context);
+  // Expectation: n * duration / mean_gap = 64 * 2e-3 * 0.5*1.25e9/16384
+  const double expected = 64.0 * 2e-3 * 0.5 * kBps / 16384.0;
+  EXPECT_NEAR(program.num_data_flows(), expected, expected * 0.2);
+  EXPECT_TRUE(program.has_release_times());
+  for (const auto& flow : program.flows()) {
+    EXPECT_LT(flow.release_seconds, params.duration_seconds);
+    EXPECT_NE(flow.src, flow.dst);
+  }
+}
+
+TEST(UniformInjection, RejectsBadParameters) {
+  UniformInjectionWorkload::Params params;
+  params.offered_load = 0.0;
+  EXPECT_THROW((void)UniformInjectionWorkload(params).generate(
+                   WorkloadContext{64, 1}),
+               std::invalid_argument);
+  params.offered_load = 1.5;
+  EXPECT_THROW((void)UniformInjectionWorkload(params).generate(
+                   WorkloadContext{64, 1}),
+               std::invalid_argument);
+}
+
+TEST(UniformInjection, LatencyGrowsWithLoad) {
+  // The saturation curve's defining property on any topology.
+  const auto topo = make_reference_torus(64);
+  double previous_latency = 0.0;
+  for (const double load : {0.2, 0.6, 0.95}) {
+    UniformInjectionWorkload::Params params;
+    params.offered_load = load;
+    params.duration_seconds = 1e-3;
+    const UniformInjectionWorkload workload(params);
+    WorkloadContext context;
+    context.num_tasks = 64;
+    context.seed = 3;
+    const auto program = workload.generate(context);
+    EngineOptions options;
+    options.record_flow_times = true;
+    FlowEngine engine(*topo, options);
+    const auto result = engine.run(program);
+    double total_latency = 0.0;
+    for (FlowIndex f = 0; f < program.num_flows(); ++f) {
+      total_latency +=
+          result.flow_finish_times[f] - program.flow(f).release_seconds;
+    }
+    const double mean_latency =
+        total_latency / static_cast<double>(program.num_flows());
+    EXPECT_GT(mean_latency, previous_latency) << load;
+    previous_latency = mean_latency;
+  }
+}
+
+TEST(UniformInjection, BelowSaturationDeliveredEqualsOffered) {
+  // At 30% load on a non-blocking fat-tree the network keeps up: the run
+  // ends shortly after the last release, so delivered ~ offered.
+  const auto tree = make_topology("fattree:8,8");
+  UniformInjectionWorkload::Params params;
+  params.offered_load = 0.3;
+  params.duration_seconds = 1e-3;
+  const UniformInjectionWorkload workload(params);
+  WorkloadContext context;
+  context.num_tasks = 64;
+  context.seed = 5;
+  const auto program = workload.generate(context);
+  FlowEngine engine(*tree);
+  const auto result = engine.run(program);
+  EXPECT_LT(result.makespan, params.duration_seconds * 1.2);
+}
+
+}  // namespace
+}  // namespace nestflow

@@ -1,0 +1,109 @@
+#include "core/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "flowsim/engine.hpp"
+#include "topo/factory.hpp"
+#include "workloads/factory.hpp"
+
+namespace nestflow {
+namespace {
+
+class PlacementPolicyTest : public testing::TestWithParam<PlacementPolicy> {};
+
+TEST_P(PlacementPolicyTest, InjectiveAndInRange) {
+  const auto topo = make_nested(512, 4, 2, UpperTierKind::kGhc);
+  for (const std::uint32_t tasks : {1u, 100u, 512u}) {
+    const auto placement = make_placement(GetParam(), tasks, *topo, 7);
+    ASSERT_EQ(placement.size(), tasks);
+    std::set<std::uint32_t> unique(placement.begin(), placement.end());
+    EXPECT_EQ(unique.size(), tasks);
+    for (const auto e : placement) EXPECT_LT(e, 512u);
+  }
+}
+
+TEST_P(PlacementPolicyTest, WorksOnNonNestedTopologies) {
+  const auto torus = make_reference_torus(256);
+  const auto placement = make_placement(GetParam(), 256, *torus, 7);
+  std::set<std::uint32_t> unique(placement.begin(), placement.end());
+  EXPECT_EQ(unique.size(), 256u);
+}
+
+TEST_P(PlacementPolicyTest, RejectsTooManyTasks) {
+  const auto torus = make_reference_torus(64);
+  EXPECT_THROW((void)make_placement(GetParam(), 65, *torus),
+               std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PlacementPolicyTest,
+                         testing::Values(PlacementPolicy::kLinear,
+                                         PlacementPolicy::kRandom,
+                                         PlacementPolicy::kBlocked,
+                                         PlacementPolicy::kRoundRobin),
+                         [](const auto& info) {
+                           std::string name(to_string(info.param));
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Placement, ParseRoundTrip) {
+  for (const auto policy :
+       {PlacementPolicy::kLinear, PlacementPolicy::kRandom,
+        PlacementPolicy::kBlocked, PlacementPolicy::kRoundRobin}) {
+    EXPECT_EQ(parse_placement_policy(to_string(policy)), policy);
+  }
+  EXPECT_THROW((void)parse_placement_policy("zigzag"), std::invalid_argument);
+}
+
+TEST(Placement, LocalityOrdering) {
+  // Blocked keeps consecutive ranks together; round-robin scatters them;
+  // linear sits in between (global x-major crosses subtorus borders).
+  const auto topo = make_nested(512, 4, 2, UpperTierKind::kGhc);
+  const auto blocked =
+      make_placement(PlacementPolicy::kBlocked, 512, *topo, 1);
+  const auto linear = make_placement(PlacementPolicy::kLinear, 512, *topo, 1);
+  const auto round_robin =
+      make_placement(PlacementPolicy::kRoundRobin, 512, *topo, 1);
+  const double l_blocked = consecutive_locality(blocked, *topo);
+  const double l_linear = consecutive_locality(linear, *topo);
+  const double l_rr = consecutive_locality(round_robin, *topo);
+  EXPECT_GT(l_blocked, 0.95);
+  EXPECT_LT(l_rr, 0.05);
+  EXPECT_GT(l_blocked, l_linear);
+  EXPECT_GT(l_linear, l_rr);
+}
+
+TEST(Placement, LocalityIsZeroOnFlatTopologies) {
+  const auto torus = make_reference_torus(64);
+  const auto placement = make_placement(PlacementPolicy::kLinear, 64, *torus);
+  EXPECT_DOUBLE_EQ(consecutive_locality(placement, *torus), 0.0);
+}
+
+TEST(Placement, BlockedBeatsRoundRobinOnNeighborTraffic) {
+  // The locality the hybrids bank on, end to end: scattering ranks across
+  // subtori forces neighbour traffic through the upper tier.
+  const auto topo = make_nested(512, 4, 4, UpperTierKind::kGhc);
+  const auto workload = make_workload("nbodies");  // ring: rank-adjacent
+  WorkloadContext context;
+  context.num_tasks = 512;
+  context.seed = 5;
+  auto blocked_program = workload->generate(context);
+  auto rr_program = blocked_program;
+  apply_task_mapping(blocked_program,
+                     make_placement(PlacementPolicy::kBlocked, 512, *topo));
+  apply_task_mapping(rr_program,
+                     make_placement(PlacementPolicy::kRoundRobin, 512, *topo));
+  EngineOptions options;
+  options.rate_quantum_rel = 0.01;
+  FlowEngine engine(*topo, options);
+  const double t_blocked = engine.run(blocked_program).makespan;
+  const double t_rr = engine.run(rr_program).makespan;
+  EXPECT_LT(t_blocked, t_rr);
+}
+
+}  // namespace
+}  // namespace nestflow

@@ -1,0 +1,168 @@
+// Tests for weighted max-min fairness (bandwidth scheduling — the paper's
+// §6 future work on prioritising critical flows).
+#include <gtest/gtest.h>
+
+#include "flowsim/engine.hpp"
+#include "flowsim/maxmin.hpp"
+#include "topo/factory.hpp"
+#include "util/prng.hpp"
+#include "workloads/collectives.hpp"
+#include "workloads/unstructured.hpp"
+
+namespace nestflow {
+namespace {
+
+constexpr double kBps = kDefaultLinkBps;
+
+TEST(WeightedMaxMin, SplitsProportionally) {
+  const std::vector<double> caps = {12.0};
+  const std::vector<std::vector<LinkId>> paths = {{0}, {0}, {0}};
+  const std::vector<double> weights = {1.0, 2.0, 3.0};
+  const auto rates = maxmin_fair_rates(caps, paths, weights);
+  EXPECT_DOUBLE_EQ(rates[0], 2.0);
+  EXPECT_DOUBLE_EQ(rates[1], 4.0);
+  EXPECT_DOUBLE_EQ(rates[2], 6.0);
+}
+
+TEST(WeightedMaxMin, UnitWeightsMatchUnweighted) {
+  Prng prng(4);
+  const std::size_t num_links = 10, num_flows = 20;
+  std::vector<double> caps(num_links);
+  for (auto& c : caps) c = 1.0 + prng.next_double() * 4.0;
+  std::vector<std::vector<LinkId>> paths(num_flows);
+  for (auto& path : paths) {
+    const auto picks = prng.sample_without_replacement(num_links, 3);
+    path.assign(picks.begin(), picks.end());
+  }
+  const std::vector<double> units(num_flows, 1.0);
+  const auto weighted = maxmin_fair_rates(caps, paths, units);
+  const auto plain = maxmin_fair_rates(caps, paths);
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    EXPECT_NEAR(weighted[f], plain[f], 1e-12);
+  }
+}
+
+TEST(WeightedMaxMin, DownstreamBottleneckStillCaps) {
+  // Flow 1 has weight 10 but is capped at 4 by its private link; flow 0
+  // takes the rest of the shared link.
+  const std::vector<double> caps = {10.0, 4.0};
+  const std::vector<std::vector<LinkId>> paths = {{0}, {0, 1}};
+  const std::vector<double> weights = {1.0, 10.0};
+  const auto rates = maxmin_fair_rates(caps, paths, weights);
+  EXPECT_DOUBLE_EQ(rates[1], 4.0);
+  EXPECT_DOUBLE_EQ(rates[0], 6.0);
+}
+
+TEST(WeightedMaxMin, FeasibleOnRandomInstances) {
+  Prng prng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t num_links = 4 + prng.next_below(12);
+    const std::size_t num_flows = 1 + prng.next_below(25);
+    std::vector<double> caps(num_links);
+    for (auto& c : caps) c = 1.0 + prng.next_double() * 9.0;
+    std::vector<std::vector<LinkId>> paths(num_flows);
+    std::vector<double> weights(num_flows);
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      const auto picks = prng.sample_without_replacement(
+          num_links, 1 + prng.next_below(4));
+      paths[f].assign(picks.begin(), picks.end());
+      weights[f] = 0.5 + prng.next_double() * 4.0;
+    }
+    const auto rates = maxmin_fair_rates(caps, paths, weights);
+    std::vector<double> load(num_links, 0.0);
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      EXPECT_GT(rates[f], 0.0);
+      for (const LinkId l : paths[f]) load[l] += rates[f];
+    }
+    for (std::size_t l = 0; l < num_links; ++l) {
+      EXPECT_LE(load[l], caps[l] * (1.0 + 1e-9));
+    }
+  }
+}
+
+TEST(WeightedMaxMin, RejectsBadWeights) {
+  const std::vector<double> caps = {1.0};
+  const std::vector<std::vector<LinkId>> paths = {{0}};
+  EXPECT_THROW((void)maxmin_fair_rates(caps, paths, std::vector<double>{0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)maxmin_fair_rates(caps, paths, std::vector<double>{1.0, 2.0}),
+      std::invalid_argument);
+}
+
+// ------------------------------------------------------------- engine level
+
+TEST(EnginePriority, WeightedFlowsFinishProportionallySooner) {
+  // Two equal flows share a route; the weight-3 one gets 3/4 of the link.
+  const TorusTopology torus({8});
+  EngineOptions options;
+  options.record_flow_times = true;
+  FlowEngine engine(torus, options);
+  TrafficProgram program;
+  const auto fast = program.add_flow(0, 1, kBps);
+  const auto slow = program.add_flow(0, 1, kBps);
+  program.set_flow_weight(fast, 3.0);
+  const auto result = engine.run(program);
+  // fast at 3/4 rate -> done at 4/3 s; slow then finishes the remainder:
+  // it has 1 - (1/4)(4/3) = 2/3 left at full rate -> 4/3 + 2/3 = 2 s.
+  EXPECT_NEAR(result.flow_finish_times[fast], 4.0 / 3.0, 1e-9);
+  EXPECT_NEAR(result.flow_finish_times[slow], 2.0, 1e-9);
+}
+
+TEST(EnginePriority, WeightsPreserveWorkConservation) {
+  // Total completion of two equal flows on one link is 2 s regardless of
+  // how the bandwidth is split between them.
+  const TorusTopology torus({8});
+  FlowEngine engine(torus);
+  for (const double weight : {1.0, 2.0, 7.5}) {
+    TrafficProgram program;
+    const auto a = program.add_flow(0, 1, kBps);
+    program.add_flow(0, 1, kBps);
+    program.set_flow_weight(a, weight);
+    EXPECT_NEAR(engine.run(program).makespan, 2.0, 1e-9) << weight;
+  }
+}
+
+TEST(EnginePriority, PrioritisedCollectiveOverBackgroundTraffic) {
+  // An AllReduce sharing the machine with unstructured background traffic
+  // finishes faster when its flows carry a higher scheduling weight, and
+  // the end-to-end makespan stays put (work conservation).
+  const auto topo = make_topology("nestghc:128,2,1");
+  const AllReduceWorkload collective;
+  const UnstructuredAppWorkload background;
+  WorkloadContext context;
+  context.num_tasks = 128;
+  context.seed = 6;
+
+  const auto run_with_weight = [&](double weight) {
+    TrafficProgram program = collective.generate(context);
+    const FlowIndex collective_flows = program.num_flows();
+    for (FlowIndex f = 0; f < collective_flows; ++f) {
+      if (!program.flow(f).is_sync) program.set_flow_weight(f, weight);
+    }
+    const auto noise = background.generate(context);
+    for (const auto& flow : noise.flows()) {
+      program.add_flow(flow.src, flow.dst, flow.bytes);
+    }
+    EngineOptions options;
+    options.record_flow_times = true;
+    FlowEngine engine(*topo, options);
+    const auto result = engine.run(program);
+    double collective_finish = 0.0;
+    for (FlowIndex f = 0; f < collective_flows; ++f) {
+      collective_finish =
+          std::max(collective_finish, result.flow_finish_times[f]);
+    }
+    return collective_finish;
+  };
+
+  // The gain is bounded: the background drains early, so the collective's
+  // later barrier steps run uncontended either way. Require a clear,
+  // strictly-better completion rather than a large factor.
+  const double plain = run_with_weight(1.0);
+  const double prioritised = run_with_weight(8.0);
+  EXPECT_LT(prioritised, plain * 0.97);
+}
+
+}  // namespace
+}  // namespace nestflow

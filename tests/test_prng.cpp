@@ -1,0 +1,189 @@
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace nestflow {
+namespace {
+
+TEST(Prng, SameSeedSameSequence) {
+  Prng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Prng a(123), b(124);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Prng, StreamsAreIndependent) {
+  Prng a(7, 0), b(7, 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Prng, StreamConstructorMatchesHashCombine) {
+  Prng a(7, 9);
+  Prng b(hash_combine(7, 9));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, NextBelowStaysInRange) {
+  Prng prng(1);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(prng.next_below(bound), bound);
+  }
+}
+
+TEST(Prng, NextBelowOneIsAlwaysZero) {
+  Prng prng(2);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(prng.next_below(1), 0u);
+}
+
+TEST(Prng, NextBelowIsRoughlyUniform) {
+  Prng prng(3);
+  constexpr int kBuckets = 8;
+  constexpr int kSamples = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[prng.next_below(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(Prng, NextInCoversInclusiveRange) {
+  Prng prng(4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = prng.next_in(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Prng, NextDoubleInUnitInterval) {
+  Prng prng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = prng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Prng, NextDoubleMeanNearHalf) {
+  Prng prng(6);
+  double sum = 0.0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) sum += prng.next_double();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Prng, NextBoolHonoursProbability) {
+  Prng prng(7);
+  int hits = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) hits += prng.next_bool(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.25, 0.02);
+}
+
+TEST(Prng, NextBoolExtremes) {
+  Prng prng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(prng.next_bool(0.0));
+    EXPECT_TRUE(prng.next_bool(1.0));
+  }
+}
+
+TEST(Prng, ExponentialMeanMatches) {
+  Prng prng(9);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += prng.next_exponential(3.0);
+  EXPECT_NEAR(sum / kSamples, 3.0, 0.1);
+}
+
+TEST(Prng, ParetoRespectsMinimum) {
+  Prng prng(10);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(prng.next_pareto(1.5, 4096.0), 4096.0);
+  }
+}
+
+TEST(Prng, ParetoIsHeavyTailed) {
+  Prng prng(11);
+  constexpr int kSamples = 100000;
+  int above_10x = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    above_10x += prng.next_pareto(1.3, 1.0) > 10.0;
+  }
+  // P(X > 10) = 10^-1.3 ~= 5.0%.
+  EXPECT_NEAR(static_cast<double>(above_10x) / kSamples, 0.050, 0.01);
+}
+
+TEST(Prng, ShuffleIsAPermutation) {
+  Prng prng(12);
+  std::vector<int> values(100);
+  for (int i = 0; i < 100; ++i) values[i] = i;
+  prng.shuffle(std::span<int>(values));
+  std::vector<int> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Prng, ShuffleActuallyShuffles) {
+  Prng prng(13);
+  std::vector<int> values(100);
+  for (int i = 0; i < 100; ++i) values[i] = i;
+  prng.shuffle(std::span<int>(values));
+  int fixed_points = 0;
+  for (int i = 0; i < 100; ++i) fixed_points += values[i] == i;
+  EXPECT_LT(fixed_points, 10);
+}
+
+TEST(Prng, SampleWithoutReplacementUniqueAndInRange) {
+  Prng prng(14);
+  const auto sample = prng.sample_without_replacement(1000, 100);
+  EXPECT_EQ(sample.size(), 100u);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 100u);
+  for (const auto v : sample) EXPECT_LT(v, 1000u);
+}
+
+TEST(Prng, SampleWithoutReplacementFullRange) {
+  Prng prng(15);
+  const auto sample = prng.sample_without_replacement(50, 50);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 50u);
+}
+
+TEST(Prng, SampleWithoutReplacementEmpty) {
+  Prng prng(16);
+  EXPECT_TRUE(prng.sample_without_replacement(10, 0).empty());
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(HashCombine, Deterministic) {
+  EXPECT_EQ(hash_combine(42, 7), hash_combine(42, 7));
+}
+
+TEST(Splitmix64, AdvancesState) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace nestflow

@@ -1,0 +1,127 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nestflow {
+namespace {
+
+std::vector<DistanceRow> sample_distance_rows() {
+  std::vector<DistanceRow> rows;
+  for (const auto upper : {UpperTierKind::kGhc, UpperTierKind::kFattree}) {
+    for (const std::uint32_t t : {2u, 4u}) {
+      for (const std::uint32_t u : {8u, 1u}) {
+        DistanceRow row;
+        row.point = TopologyPoint{
+            upper == UpperTierKind::kGhc ? "NestGHC" : "NestTree", t, u,
+            upper};
+        row.average = 5.0 + t + u;
+        row.diameter = 10 + t;
+        rows.push_back(row);
+      }
+    }
+  }
+  DistanceRow fattree;
+  fattree.point = TopologyPoint{"Fattree", 0, 0, std::nullopt};
+  fattree.average = 5.94;
+  fattree.diameter = 6;
+  rows.push_back(fattree);
+  DistanceRow torus;
+  torus.point = TopologyPoint{"Torus3D", 0, 0, std::nullopt};
+  torus.average = 40.0;
+  torus.diameter = 80;
+  rows.push_back(torus);
+  return rows;
+}
+
+TEST(Report, DistanceTableShape) {
+  const auto table = format_distance_table(sample_distance_rows());
+  EXPECT_EQ(table.header().size(), 5u);
+  // 4 (t,u) rows + fattree + torus.
+  EXPECT_EQ(table.num_rows(), 6u);
+  EXPECT_EQ(table.rows()[0][0], "(2, 8)");  // paper order: u descending
+  EXPECT_EQ(table.rows()[1][0], "(2, 1)");
+  EXPECT_EQ(table.rows()[4][0], "Fattree");
+  EXPECT_EQ(table.rows()[5][0], "Torus3D");
+  EXPECT_EQ(table.rows()[5][1], "40.00");
+}
+
+TEST(Report, DistanceTableMarksInvalidRows) {
+  auto rows = sample_distance_rows();
+  for (auto& row : rows) {
+    if (row.point.label == "NestGHC" && row.point.t == 4) row.valid = false;
+  }
+  const auto table = format_distance_table(rows);
+  bool found_dash = false;
+  for (const auto& row : table.rows()) {
+    if (row[0] == "(4, 8)") {
+      EXPECT_EQ(row[1], "-");
+      found_dash = true;
+    }
+  }
+  EXPECT_TRUE(found_dash);
+}
+
+TEST(Report, OverheadTableShape) {
+  const auto rows = run_overhead_analysis(131072);
+  const auto table = format_overhead_table(rows);
+  EXPECT_EQ(table.header().size(), 7u);
+  EXPECT_EQ(table.num_rows(), 13u);  // 12 (t,u) + fattree reference
+  // Spot-check a known Table 2 row: (2, 8) -> 2048 switches, 1.17%, 0.39%.
+  EXPECT_EQ(table.rows()[0][0], "(2, 8)");
+  EXPECT_EQ(table.rows()[0][1], "2048");
+  EXPECT_EQ(table.rows()[0][3], "1.17%");
+  EXPECT_EQ(table.rows()[0][5], "0.39%");
+  // Bottom reference row.
+  EXPECT_EQ(table.rows()[12][0], "Fattree");
+  EXPECT_EQ(table.rows()[12][1], "9216");
+  EXPECT_EQ(table.rows()[12][3], "5.27%");
+}
+
+std::vector<SimulationCell> sample_cells() {
+  std::vector<SimulationCell> cells;
+  for (const auto label : {"NestGHC", "NestTree"}) {
+    SimulationCell cell;
+    cell.point = TopologyPoint{label, 2, 4,
+                               label == std::string("NestGHC")
+                                   ? UpperTierKind::kGhc
+                                   : UpperTierKind::kFattree};
+    cell.workload = "allreduce";
+    cell.normalized_time = 1.25;
+    cells.push_back(cell);
+  }
+  SimulationCell fattree;
+  fattree.point = TopologyPoint{"Fattree", 0, 0, std::nullopt};
+  fattree.workload = "allreduce";
+  fattree.normalized_time = 1.0;
+  cells.push_back(fattree);
+  SimulationCell torus;
+  torus.point = TopologyPoint{"Torus3D", 0, 0, std::nullopt};
+  torus.workload = "allreduce";
+  torus.normalized_time = 9.5;
+  cells.push_back(torus);
+  return cells;
+}
+
+TEST(Report, FigurePanelShape) {
+  const auto table = format_figure_panel(sample_cells(), "allreduce");
+  EXPECT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.rows()[0][0], "(2, 4)");
+  EXPECT_EQ(table.rows()[0][1], "1.250");
+  EXPECT_EQ(table.rows()[0][3], "1.000");
+  EXPECT_EQ(table.rows()[0][4], "9.500");
+}
+
+TEST(Report, FigurePanelUnknownWorkloadThrows) {
+  EXPECT_THROW((void)format_figure_panel(sample_cells(), "nbodies"),
+               std::invalid_argument);
+}
+
+TEST(Report, CellsCsvSkipsInvalid) {
+  auto cells = sample_cells();
+  cells[0].valid = false;
+  const auto table = format_cells_csv(cells);
+  EXPECT_EQ(table.num_rows(), 3u);
+}
+
+}  // namespace
+}  // namespace nestflow

@@ -1,0 +1,90 @@
+// Tests for the link-degradation (fault-injection) engine support.
+#include <gtest/gtest.h>
+
+#include "flowsim/engine.hpp"
+#include "topo/factory.hpp"
+
+namespace nestflow {
+namespace {
+
+constexpr double kBps = kDefaultLinkBps;
+
+TEST(Resilience, DegradedLinkSlowsItsFlows) {
+  const TorusTopology torus({8});
+  FlowEngine engine(torus);
+  TrafficProgram program;
+  program.add_flow(0, 1, kBps);
+
+  EXPECT_NEAR(engine.run(program).makespan, 1.0, 1e-9);
+
+  // Halve the 0 -> 1 link in both directions.
+  const LinkId forward = torus.graph().find_link(0, 1);
+  ASSERT_NE(forward, kInvalidLink);
+  engine.set_capacity_factor(forward, 0.5);
+  engine.set_capacity_factor(torus.graph().link(forward).reverse, 0.5);
+  EXPECT_NEAR(engine.run(program).makespan, 2.0, 1e-9);
+
+  engine.reset_capacity_factors();
+  EXPECT_NEAR(engine.run(program).makespan, 1.0, 1e-9);
+}
+
+TEST(Resilience, UnrelatedFlowsUnaffected) {
+  const TorusTopology torus({8});
+  FlowEngine engine(torus);
+  const LinkId degraded = torus.graph().find_link(4, 5);
+  engine.set_capacity_factor(degraded, 0.25);
+  TrafficProgram program;
+  program.add_flow(0, 1, kBps);
+  EXPECT_NEAR(engine.run(program).makespan, 1.0, 1e-9);
+}
+
+TEST(Resilience, DegradedNicSerialisesHarder) {
+  const TorusTopology torus({8});
+  FlowEngine engine(torus);
+  engine.set_capacity_factor(torus.graph().consumption_link(0), 0.5);
+  TrafficProgram program;
+  for (std::uint32_t s = 1; s < 8; ++s) program.add_flow(s, 0, kBps / 7);
+  // Consumption-bound: 7 * (kBps/7) bytes over half a NIC = 2 s.
+  EXPECT_NEAR(engine.run(program).makespan, 2.0, 1e-6);
+}
+
+TEST(Resilience, RejectsBadFactors) {
+  const TorusTopology torus({8});
+  FlowEngine engine(torus);
+  EXPECT_THROW(engine.set_capacity_factor(0, 0.0), std::invalid_argument);
+  EXPECT_THROW(engine.set_capacity_factor(0, 1.5), std::invalid_argument);
+  EXPECT_THROW(engine.set_capacity_factor(999999, 0.5), std::out_of_range);
+}
+
+TEST(Resilience, AdaptiveFattreeRoutesAroundDegradedUplinks) {
+  // Degrade one up-link of the source's leaf switch heavily: with adaptive
+  // routing the load-aware ascent spreads flows across the healthy ports,
+  // so permutation traffic barely suffers. (Adaptivity keys on occupancy,
+  // not capacity, so the effect shows under concurrent load.)
+  const auto tree = make_reference_fattree(64);  // (32, 2)
+  TrafficProgram program;
+  for (std::uint32_t s = 0; s < 32; ++s) {
+    program.add_flow(s, 32 + s, kBps / 8);  // all cross the tree upward
+  }
+  FlowEngine healthy(*tree);
+  const double t_healthy = healthy.run(program).makespan;
+  FlowEngine degraded(*tree);
+  // Degrade several stage-1 up cables (links between switches).
+  std::uint32_t degraded_count = 0;
+  const auto& g = tree->graph();
+  for (LinkId l = 0; l < g.num_transit_links() && degraded_count < 4; ++l) {
+    if (g.link(l).link_class == LinkClass::kUpper) {
+      degraded.set_capacity_factor(l, 0.1);
+      ++degraded_count;
+    }
+  }
+  ASSERT_GT(degraded_count, 0u);
+  const double t_degraded = degraded.run(program).makespan;
+  // Performance may drop but must stay within the no-diversity worst case
+  // (every flow pinned to a 10x slower link).
+  EXPECT_LT(t_degraded, 10.0 * t_healthy);
+  EXPECT_GE(t_degraded, t_healthy * (1 - 1e-9));
+}
+
+}  // namespace
+}  // namespace nestflow

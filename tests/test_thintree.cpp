@@ -1,0 +1,139 @@
+#include "topo/thintree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "graph/validation.hpp"
+#include "topo/census.hpp"
+#include "topo/factory.hpp"
+#include "flowsim/engine.hpp"
+
+namespace nestflow {
+namespace {
+
+ThinTreeTopology::Params params(std::uint32_t k, std::uint32_t k_up,
+                                std::uint32_t levels) {
+  ThinTreeTopology::Params p;
+  p.k = k;
+  p.k_up = k_up;
+  p.levels = levels;
+  return p;
+}
+
+TEST(ThinTree, SwitchCountsPerStage) {
+  // 4:2-ary 3-tree: 64 leaves; stage s has 4^(3-s) * 2^(s-1) switches.
+  const ThinTreeTopology tree(params(4, 2, 3));
+  EXPECT_EQ(tree.num_endpoints(), 64u);
+  EXPECT_EQ(tree.switches_at_stage(1), 16u);
+  EXPECT_EQ(tree.switches_at_stage(2), 8u);
+  EXPECT_EQ(tree.switches_at_stage(3), 4u);
+  EXPECT_EQ(tree.num_switches(), 28u);
+  EXPECT_EQ(tree.graph().num_switches(), 28u);
+}
+
+TEST(ThinTree, FullFatCaseMatchesKAryNTree) {
+  // k' == k degenerates to the k-ary n-tree: n * k^(n-1) switches.
+  const ThinTreeTopology tree(params(4, 4, 3));
+  EXPECT_EQ(tree.num_switches(), 3u * 16u);
+  const FatTreeTopology reference({4, 4, 4});
+  EXPECT_EQ(tree.num_switches(), reference.tier().num_switches());
+}
+
+TEST(ThinTree, Validates) {
+  for (const auto& p : {params(4, 2, 3), params(2, 1, 4), params(3, 2, 2),
+                        params(8, 4, 2), params(4, 4, 2)}) {
+    const ThinTreeTopology tree(p);
+    const auto report = validate_graph(tree.graph());
+    EXPECT_TRUE(report.ok()) << tree.name() << ": " << report.to_string();
+  }
+}
+
+TEST(ThinTree, UpLinkCountsRespectThinning) {
+  const ThinTreeTopology tree(params(4, 2, 3));
+  const auto& g = tree.graph();
+  // Every stage-1/2 switch has exactly k'=2 up cables; stage-3 none.
+  for (NodeId node = tree.num_endpoints(); node < g.num_nodes(); ++node) {
+    std::uint32_t up = 0;
+    for (const LinkId l : g.out_links(node)) {
+      // "Up" = towards a strictly larger switch id (stages are allocated
+      // in ascending order).
+      if (g.link(l).link_class == LinkClass::kUpper && g.link(l).dst > node) {
+        ++up;
+      }
+    }
+    const bool is_top = node >= g.num_nodes() - 4;
+    EXPECT_EQ(up, is_top ? 0u : 2u) << "switch " << node;
+  }
+}
+
+TEST(ThinTree, RouteMatchesBfsEverywhere) {
+  const ThinTreeTopology tree(params(3, 2, 3));  // 27 leaves
+  BfsScratch bfs;
+  Path path;
+  for (std::uint32_t s = 0; s < tree.num_endpoints(); ++s) {
+    bfs.run(tree.graph(), s);
+    for (std::uint32_t d = 0; d < tree.num_endpoints(); ++d) {
+      tree.route(s, d, path);
+      EXPECT_EQ(path.hops(), bfs.distances()[d]) << s << "->" << d;
+      EXPECT_EQ(path.hops(), tree.route_distance(s, d));
+    }
+  }
+}
+
+TEST(ThinTree, RoutesAreValidChains) {
+  const ThinTreeTopology tree(params(4, 2, 3));
+  Path path;
+  for (std::uint32_t s = 0; s < tree.num_endpoints(); s += 5) {
+    for (std::uint32_t d = 0; d < tree.num_endpoints(); d += 3) {
+      tree.route(s, d, path);
+      NodeId current = s;
+      for (const LinkId l : path.links) {
+        ASSERT_EQ(tree.graph().link(l).src, current);
+        current = tree.graph().link(l).dst;
+      }
+      EXPECT_EQ(current, d);
+    }
+  }
+}
+
+TEST(ThinTree, SingleLevel) {
+  const ThinTreeTopology tree(params(8, 1, 1));
+  EXPECT_EQ(tree.num_endpoints(), 8u);
+  EXPECT_EQ(tree.num_switches(), 1u);
+  EXPECT_EQ(tree.route_distance(0, 7), 2u);
+}
+
+TEST(ThinTree, OversubscriptionSlowsBisectionTraffic) {
+  // The whole point of thinning: a 2:1 oversubscribed tree is ~2x slower
+  // than the full fat-tree on cross-subtree permutation traffic.
+  const auto fat = make_topology("thintree:8,8,2");
+  const auto thin = make_topology("thintree:8,4,2");
+  ASSERT_EQ(fat->num_endpoints(), thin->num_endpoints());
+  double makespans[2] = {0, 0};
+  int index = 0;
+  for (const auto* topo : {fat.get(), thin.get()}) {
+    TrafficProgram program;
+    const std::uint32_t n = topo->num_endpoints();
+    for (std::uint32_t s = 0; s < n; ++s) {
+      program.add_flow(s, (s + n / 2) % n, 65536.0);  // all cross stages
+    }
+    FlowEngine engine(*topo);
+    makespans[index++] = engine.run(program).makespan;
+  }
+  EXPECT_NEAR(makespans[1] / makespans[0], 2.0, 0.2);
+}
+
+TEST(ThinTree, RejectsBadParams) {
+  EXPECT_THROW(ThinTreeTopology tree(params(1, 1, 2)), std::invalid_argument);
+  EXPECT_THROW(ThinTreeTopology tree(params(4, 5, 2)), std::invalid_argument);
+  EXPECT_THROW(ThinTreeTopology tree(params(4, 0, 2)), std::invalid_argument);
+}
+
+TEST(ThinTree, FactorySpec) {
+  const auto tree = make_topology("thintree:4,2,3");
+  EXPECT_EQ(tree->name(), "ThinTree(4:2-ary 3-tree)");
+  EXPECT_EQ(tree->num_endpoints(), 64u);
+}
+
+}  // namespace
+}  // namespace nestflow

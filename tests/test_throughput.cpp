@@ -1,0 +1,88 @@
+#include "topo/throughput.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/factory.hpp"
+
+namespace nestflow {
+namespace {
+
+TEST(Throughput, RingClosedForm) {
+  // 8-ring under uniform traffic. DOR breaks distance-4 ties towards the
+  // positive direction, so forward links carry 1+2+3+4 = 10 hop-crossings
+  // per source vs 6 backwards: p_max = 10/56 and theta = 56/(8*10) = 0.7.
+  const auto ring = make_topology("torus:8");
+  const auto bound = uniform_throughput_bound(*ring);
+  EXPECT_TRUE(bound.exhaustive);
+  EXPECT_NEAR(bound.normalized, 0.7, 1e-9);
+  EXPECT_EQ(bound.bottleneck_class, LinkClass::kTorus);
+}
+
+TEST(Throughput, OddRingHasNoTieAsymmetry) {
+  // A 7-ring has no antipodal ties: both directions carry 1+2+3 = 6 per
+  // source, p = 6/42 = 1/7 and theta = 1.0 (the NIC saturates first).
+  const auto ring = make_topology("torus:7");
+  const auto bound = uniform_throughput_bound(*ring);
+  EXPECT_NEAR(bound.normalized, 1.0, 1e-9);
+}
+
+TEST(Throughput, NonBlockingFattreeReachesFullRate) {
+  const auto tree = make_topology("fattree:4,4,4");
+  const auto bound = uniform_throughput_bound(*tree);
+  // The NIC itself is the bottleneck: theta == 1 exactly.
+  EXPECT_NEAR(bound.normalized, 1.0, 1e-9);
+}
+
+TEST(Throughput, ThinningCutsThroughputProportionally) {
+  // A 2:1 thin tree halves upper-stage bandwidth; uniform traffic mostly
+  // crosses stages, so theta drops towards 1/2.
+  const auto fat = make_topology("thintree:8,8,2");
+  const auto thin = make_topology("thintree:8,4,2");
+  const double theta_fat = uniform_throughput_bound(*fat).normalized;
+  const double theta_thin = uniform_throughput_bound(*thin).normalized;
+  EXPECT_NEAR(theta_fat, 1.0, 1e-9);
+  EXPECT_LT(theta_thin, 0.7);
+  EXPECT_GT(theta_thin, 0.4);
+}
+
+TEST(Throughput, TorusDegradesWithScale) {
+  // The static root of the paper's Fig. 4: torus throughput falls as the
+  // machine grows (load per link ~ avg distance / degree).
+  const double theta_small =
+      uniform_throughput_bound(*make_reference_torus(64)).normalized;
+  const double theta_large =
+      uniform_throughput_bound(*make_reference_torus(4096), 200000)
+          .normalized;
+  EXPECT_GT(theta_small, theta_large);
+  EXPECT_LT(theta_large, 0.5);
+}
+
+TEST(Throughput, DenserUplinksRaiseHybridThroughput) {
+  double previous = 0.0;
+  for (const std::uint32_t u : {8u, 4u, 2u, 1u}) {
+    const auto topo = make_nested(512, 2, u, UpperTierKind::kGhc);
+    const double theta = uniform_throughput_bound(*topo).normalized;
+    EXPECT_GE(theta, previous * (1 - 1e-9)) << "u=" << u;
+    previous = theta;
+  }
+}
+
+TEST(Throughput, MeanPathLengthMatchesDistanceIntuition) {
+  const auto torus = make_topology("torus:8x8");
+  const auto bound = uniform_throughput_bound(*torus);
+  // 8x8 torus exact average distance = 2 * (sum{0,1,2,3,4,3,2,1}/8) * ...
+  // per-dim mean over ordered pairs including equal coords is 2.0; two
+  // dims minus the zero-distance pairs correction:
+  EXPECT_NEAR(bound.mean_path_length, 256.0 / 63.0, 1e-9);
+}
+
+TEST(Throughput, SampledModeRuns) {
+  const auto torus = make_reference_torus(4096);
+  const auto bound = uniform_throughput_bound(*torus, 50000, 7);
+  EXPECT_FALSE(bound.exhaustive);
+  EXPECT_GT(bound.normalized, 0.0);
+  EXPECT_LE(bound.normalized, 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace nestflow

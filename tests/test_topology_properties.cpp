@@ -1,0 +1,133 @@
+// Universal properties every topology must satisfy, swept over a mixed set
+// of instances with TEST_P: structural validity, routing correctness
+// (paths are real link chains from src to dst), consistency between
+// route(), route_length() and route_distance(), and census coherence.
+#include <gtest/gtest.h>
+
+#include "graph/validation.hpp"
+#include "topo/census.hpp"
+#include "topo/factory.hpp"
+#include "util/prng.hpp"
+
+namespace nestflow {
+namespace {
+
+class TopologyPropertyTest : public testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override { topology_ = make_topology(GetParam()); }
+  std::unique_ptr<Topology> topology_;
+};
+
+TEST_P(TopologyPropertyTest, GraphValidates) {
+  const auto report = validate_graph(topology_->graph());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST_P(TopologyPropertyTest, EndpointsAreNumberedFirst) {
+  const auto& g = topology_->graph();
+  for (NodeId n = 0; n < g.num_endpoints(); ++n) {
+    EXPECT_EQ(g.node_kind(n), NodeKind::kEndpoint);
+  }
+  for (NodeId n = g.num_endpoints(); n < g.num_nodes(); ++n) {
+    EXPECT_EQ(g.node_kind(n), NodeKind::kSwitch);
+  }
+}
+
+TEST_P(TopologyPropertyTest, RoutesAreValidLinkChains) {
+  Prng prng(2024);
+  Path path;
+  const auto n = topology_->num_endpoints();
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto s = static_cast<std::uint32_t>(prng.next_below(n));
+    const auto d = static_cast<std::uint32_t>(prng.next_below(n));
+    topology_->route(s, d, path);
+    if (s == d) {
+      EXPECT_EQ(path.hops(), 0u);
+      continue;
+    }
+    ASSERT_GT(path.hops(), 0u);
+    NodeId current = s;
+    for (const LinkId l : path.links) {
+      ASSERT_LT(l, topology_->graph().num_transit_links());
+      ASSERT_EQ(topology_->graph().link(l).src, current);
+      current = topology_->graph().link(l).dst;
+    }
+    EXPECT_EQ(current, d);
+  }
+}
+
+TEST_P(TopologyPropertyTest, RoutesNeverRepeatALink) {
+  Prng prng(7);
+  Path path;
+  const auto n = topology_->num_endpoints();
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto s = static_cast<std::uint32_t>(prng.next_below(n));
+    const auto d = static_cast<std::uint32_t>(prng.next_below(n));
+    topology_->route(s, d, path);
+    std::vector<LinkId> sorted = path.links;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  }
+}
+
+TEST_P(TopologyPropertyTest, RouteDistanceMatchesRouteLength) {
+  Prng prng(99);
+  const auto n = topology_->num_endpoints();
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto s = static_cast<std::uint32_t>(prng.next_below(n));
+    const auto d = static_cast<std::uint32_t>(prng.next_below(n));
+    EXPECT_EQ(topology_->route_distance(s, d), topology_->route_length(s, d))
+        << topology_->name() << " " << s << "->" << d;
+  }
+}
+
+TEST_P(TopologyPropertyTest, RoutingIsDeterministic) {
+  Prng prng(5);
+  Path a, b;
+  const auto n = topology_->num_endpoints();
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto s = static_cast<std::uint32_t>(prng.next_below(n));
+    const auto d = static_cast<std::uint32_t>(prng.next_below(n));
+    topology_->route(s, d, a);
+    topology_->route(s, d, b);
+    EXPECT_EQ(a.links, b.links);
+  }
+}
+
+TEST_P(TopologyPropertyTest, AdversarialPairsAreInRange) {
+  for (const auto& [s, d] : topology_->adversarial_pairs()) {
+    EXPECT_LT(s, topology_->num_endpoints());
+    EXPECT_LT(d, topology_->num_endpoints());
+  }
+}
+
+TEST_P(TopologyPropertyTest, CensusAddsUp) {
+  const auto census = take_census(topology_->graph());
+  EXPECT_EQ(census.endpoints + census.switches,
+            topology_->graph().num_nodes());
+  EXPECT_EQ(census.total_cables() * 2,
+            topology_->graph().num_transit_links());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Instances, TopologyPropertyTest,
+    testing::Values("torus:8x8x8", "torus:5x4x3", "torus:2x2x2",
+                    "fattree:4,4,4", "fattree:8,2", "fattree:16",
+                    "ghc:4x4x4", "ghc:2x3x4", "ghc:8x8",
+                    "nesttree:128,2,1", "nesttree:128,2,2", "nesttree:128,2,4",
+                    "nesttree:128,2,8", "nesttree:128,4,2", "nesttree:512,8,8",
+                    "nestghc:128,2,1", "nestghc:128,2,2", "nestghc:128,2,4",
+                    "nestghc:128,2,8", "nestghc:128,4,4", "nestghc:512,8,1",
+                    "dragonfly:2,4,2", "dragonfly:1,2,1",
+                    "jellyfish:16,2,4", "jellyfish:64,2,6",
+                    "thintree:4,2,3", "thintree:3,1,3", "thintree:8,8,2"),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == ':' || c == ',' || c == 'x') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace nestflow
