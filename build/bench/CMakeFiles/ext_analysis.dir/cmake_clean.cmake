@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_analysis.dir/ext_analysis.cpp.o"
+  "CMakeFiles/ext_analysis.dir/ext_analysis.cpp.o.d"
+  "ext_analysis"
+  "ext_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_isolation.dir/ext_isolation.cpp.o"
+  "CMakeFiles/ext_isolation.dir/ext_isolation.cpp.o.d"
+  "ext_isolation"
+  "ext_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_priority.dir/ext_priority.cpp.o"
+  "CMakeFiles/ext_priority.dir/ext_priority.cpp.o.d"
+  "ext_priority"
+  "ext_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

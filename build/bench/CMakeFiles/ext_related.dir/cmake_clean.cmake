@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_related.dir/ext_related.cpp.o"
+  "CMakeFiles/ext_related.dir/ext_related.cpp.o.d"
+  "ext_related"
+  "ext_related.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_related.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_resilience.dir/ext_resilience.cpp.o"
+  "CMakeFiles/ext_resilience.dir/ext_resilience.cpp.o.d"
+  "ext_resilience"
+  "ext_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

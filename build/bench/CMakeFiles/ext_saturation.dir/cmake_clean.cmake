@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_saturation.dir/ext_saturation.cpp.o"
+  "CMakeFiles/ext_saturation.dir/ext_saturation.cpp.o.d"
+  "ext_saturation"
+  "ext_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_topology_census.dir/fig2_topology_census.cpp.o"
+  "CMakeFiles/fig2_topology_census.dir/fig2_topology_census.cpp.o.d"
+  "fig2_topology_census"
+  "fig2_topology_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_topology_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_connection_rules.dir/fig3_connection_rules.cpp.o"
+  "CMakeFiles/fig3_connection_rules.dir/fig3_connection_rules.cpp.o.d"
+  "fig3_connection_rules"
+  "fig3_connection_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_connection_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_heavy.dir/fig4_heavy.cpp.o"
+  "CMakeFiles/fig4_heavy.dir/fig4_heavy.cpp.o.d"
+  "fig4_heavy"
+  "fig4_heavy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_heavy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_light.dir/fig5_light.cpp.o"
+  "CMakeFiles/fig5_light.dir/fig5_light.cpp.o.d"
+  "fig5_light"
+  "fig5_light.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_light.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

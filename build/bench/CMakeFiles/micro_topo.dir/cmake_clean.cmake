@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_topo.dir/micro_topo.cpp.o"
+  "CMakeFiles/micro_topo.dir/micro_topo.cpp.o.d"
+  "micro_topo"
+  "micro_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_distances.dir/table1_distances.cpp.o"
+  "CMakeFiles/table1_distances.dir/table1_distances.cpp.o.d"
+  "table1_distances"
+  "table1_distances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_distances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

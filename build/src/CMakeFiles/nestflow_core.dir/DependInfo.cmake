@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cpp" "src/CMakeFiles/nestflow_core.dir/core/cost_model.cpp.o" "gcc" "src/CMakeFiles/nestflow_core.dir/core/cost_model.cpp.o.d"
+  "/root/repo/src/core/energy_model.cpp" "src/CMakeFiles/nestflow_core.dir/core/energy_model.cpp.o" "gcc" "src/CMakeFiles/nestflow_core.dir/core/energy_model.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/nestflow_core.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/nestflow_core.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/CMakeFiles/nestflow_core.dir/core/placement.cpp.o" "gcc" "src/CMakeFiles/nestflow_core.dir/core/placement.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/nestflow_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/nestflow_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/system_model.cpp" "src/CMakeFiles/nestflow_core.dir/core/system_model.cpp.o" "gcc" "src/CMakeFiles/nestflow_core.dir/core/system_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nestflow_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestflow_flowsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestflow_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestflow_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestflow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestflow_core.dir/core/cost_model.cpp.o"
+  "CMakeFiles/nestflow_core.dir/core/cost_model.cpp.o.d"
+  "CMakeFiles/nestflow_core.dir/core/energy_model.cpp.o"
+  "CMakeFiles/nestflow_core.dir/core/energy_model.cpp.o.d"
+  "CMakeFiles/nestflow_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/nestflow_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/nestflow_core.dir/core/placement.cpp.o"
+  "CMakeFiles/nestflow_core.dir/core/placement.cpp.o.d"
+  "CMakeFiles/nestflow_core.dir/core/report.cpp.o"
+  "CMakeFiles/nestflow_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/nestflow_core.dir/core/system_model.cpp.o"
+  "CMakeFiles/nestflow_core.dir/core/system_model.cpp.o.d"
+  "libnestflow_core.a"
+  "libnestflow_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestflow_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flowsim/dag.cpp" "src/CMakeFiles/nestflow_flowsim.dir/flowsim/dag.cpp.o" "gcc" "src/CMakeFiles/nestflow_flowsim.dir/flowsim/dag.cpp.o.d"
+  "/root/repo/src/flowsim/engine.cpp" "src/CMakeFiles/nestflow_flowsim.dir/flowsim/engine.cpp.o" "gcc" "src/CMakeFiles/nestflow_flowsim.dir/flowsim/engine.cpp.o.d"
+  "/root/repo/src/flowsim/flow.cpp" "src/CMakeFiles/nestflow_flowsim.dir/flowsim/flow.cpp.o" "gcc" "src/CMakeFiles/nestflow_flowsim.dir/flowsim/flow.cpp.o.d"
+  "/root/repo/src/flowsim/maxmin.cpp" "src/CMakeFiles/nestflow_flowsim.dir/flowsim/maxmin.cpp.o" "gcc" "src/CMakeFiles/nestflow_flowsim.dir/flowsim/maxmin.cpp.o.d"
+  "/root/repo/src/flowsim/metrics.cpp" "src/CMakeFiles/nestflow_flowsim.dir/flowsim/metrics.cpp.o" "gcc" "src/CMakeFiles/nestflow_flowsim.dir/flowsim/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nestflow_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestflow_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestflow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestflow_flowsim.dir/flowsim/dag.cpp.o"
+  "CMakeFiles/nestflow_flowsim.dir/flowsim/dag.cpp.o.d"
+  "CMakeFiles/nestflow_flowsim.dir/flowsim/engine.cpp.o"
+  "CMakeFiles/nestflow_flowsim.dir/flowsim/engine.cpp.o.d"
+  "CMakeFiles/nestflow_flowsim.dir/flowsim/flow.cpp.o"
+  "CMakeFiles/nestflow_flowsim.dir/flowsim/flow.cpp.o.d"
+  "CMakeFiles/nestflow_flowsim.dir/flowsim/maxmin.cpp.o"
+  "CMakeFiles/nestflow_flowsim.dir/flowsim/maxmin.cpp.o.d"
+  "CMakeFiles/nestflow_flowsim.dir/flowsim/metrics.cpp.o"
+  "CMakeFiles/nestflow_flowsim.dir/flowsim/metrics.cpp.o.d"
+  "libnestflow_flowsim.a"
+  "libnestflow_flowsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestflow_flowsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nestflow_flowsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bfs.cpp" "src/CMakeFiles/nestflow_graph.dir/graph/bfs.cpp.o" "gcc" "src/CMakeFiles/nestflow_graph.dir/graph/bfs.cpp.o.d"
+  "/root/repo/src/graph/distance_metrics.cpp" "src/CMakeFiles/nestflow_graph.dir/graph/distance_metrics.cpp.o" "gcc" "src/CMakeFiles/nestflow_graph.dir/graph/distance_metrics.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/nestflow_graph.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/nestflow_graph.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/validation.cpp" "src/CMakeFiles/nestflow_graph.dir/graph/validation.cpp.o" "gcc" "src/CMakeFiles/nestflow_graph.dir/graph/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nestflow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

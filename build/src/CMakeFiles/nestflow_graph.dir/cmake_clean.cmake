@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestflow_graph.dir/graph/bfs.cpp.o"
+  "CMakeFiles/nestflow_graph.dir/graph/bfs.cpp.o.d"
+  "CMakeFiles/nestflow_graph.dir/graph/distance_metrics.cpp.o"
+  "CMakeFiles/nestflow_graph.dir/graph/distance_metrics.cpp.o.d"
+  "CMakeFiles/nestflow_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/nestflow_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/nestflow_graph.dir/graph/validation.cpp.o"
+  "CMakeFiles/nestflow_graph.dir/graph/validation.cpp.o.d"
+  "libnestflow_graph.a"
+  "libnestflow_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestflow_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/census.cpp" "src/CMakeFiles/nestflow_topo.dir/topo/census.cpp.o" "gcc" "src/CMakeFiles/nestflow_topo.dir/topo/census.cpp.o.d"
+  "/root/repo/src/topo/deadlock.cpp" "src/CMakeFiles/nestflow_topo.dir/topo/deadlock.cpp.o" "gcc" "src/CMakeFiles/nestflow_topo.dir/topo/deadlock.cpp.o.d"
+  "/root/repo/src/topo/dragonfly.cpp" "src/CMakeFiles/nestflow_topo.dir/topo/dragonfly.cpp.o" "gcc" "src/CMakeFiles/nestflow_topo.dir/topo/dragonfly.cpp.o.d"
+  "/root/repo/src/topo/factory.cpp" "src/CMakeFiles/nestflow_topo.dir/topo/factory.cpp.o" "gcc" "src/CMakeFiles/nestflow_topo.dir/topo/factory.cpp.o.d"
+  "/root/repo/src/topo/fattree.cpp" "src/CMakeFiles/nestflow_topo.dir/topo/fattree.cpp.o" "gcc" "src/CMakeFiles/nestflow_topo.dir/topo/fattree.cpp.o.d"
+  "/root/repo/src/topo/ghc.cpp" "src/CMakeFiles/nestflow_topo.dir/topo/ghc.cpp.o" "gcc" "src/CMakeFiles/nestflow_topo.dir/topo/ghc.cpp.o.d"
+  "/root/repo/src/topo/jellyfish.cpp" "src/CMakeFiles/nestflow_topo.dir/topo/jellyfish.cpp.o" "gcc" "src/CMakeFiles/nestflow_topo.dir/topo/jellyfish.cpp.o.d"
+  "/root/repo/src/topo/nested.cpp" "src/CMakeFiles/nestflow_topo.dir/topo/nested.cpp.o" "gcc" "src/CMakeFiles/nestflow_topo.dir/topo/nested.cpp.o.d"
+  "/root/repo/src/topo/thintree.cpp" "src/CMakeFiles/nestflow_topo.dir/topo/thintree.cpp.o" "gcc" "src/CMakeFiles/nestflow_topo.dir/topo/thintree.cpp.o.d"
+  "/root/repo/src/topo/throughput.cpp" "src/CMakeFiles/nestflow_topo.dir/topo/throughput.cpp.o" "gcc" "src/CMakeFiles/nestflow_topo.dir/topo/throughput.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/CMakeFiles/nestflow_topo.dir/topo/topology.cpp.o" "gcc" "src/CMakeFiles/nestflow_topo.dir/topo/topology.cpp.o.d"
+  "/root/repo/src/topo/torus.cpp" "src/CMakeFiles/nestflow_topo.dir/topo/torus.cpp.o" "gcc" "src/CMakeFiles/nestflow_topo.dir/topo/torus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nestflow_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestflow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestflow_topo.dir/topo/census.cpp.o"
+  "CMakeFiles/nestflow_topo.dir/topo/census.cpp.o.d"
+  "CMakeFiles/nestflow_topo.dir/topo/deadlock.cpp.o"
+  "CMakeFiles/nestflow_topo.dir/topo/deadlock.cpp.o.d"
+  "CMakeFiles/nestflow_topo.dir/topo/dragonfly.cpp.o"
+  "CMakeFiles/nestflow_topo.dir/topo/dragonfly.cpp.o.d"
+  "CMakeFiles/nestflow_topo.dir/topo/factory.cpp.o"
+  "CMakeFiles/nestflow_topo.dir/topo/factory.cpp.o.d"
+  "CMakeFiles/nestflow_topo.dir/topo/fattree.cpp.o"
+  "CMakeFiles/nestflow_topo.dir/topo/fattree.cpp.o.d"
+  "CMakeFiles/nestflow_topo.dir/topo/ghc.cpp.o"
+  "CMakeFiles/nestflow_topo.dir/topo/ghc.cpp.o.d"
+  "CMakeFiles/nestflow_topo.dir/topo/jellyfish.cpp.o"
+  "CMakeFiles/nestflow_topo.dir/topo/jellyfish.cpp.o.d"
+  "CMakeFiles/nestflow_topo.dir/topo/nested.cpp.o"
+  "CMakeFiles/nestflow_topo.dir/topo/nested.cpp.o.d"
+  "CMakeFiles/nestflow_topo.dir/topo/thintree.cpp.o"
+  "CMakeFiles/nestflow_topo.dir/topo/thintree.cpp.o.d"
+  "CMakeFiles/nestflow_topo.dir/topo/throughput.cpp.o"
+  "CMakeFiles/nestflow_topo.dir/topo/throughput.cpp.o.d"
+  "CMakeFiles/nestflow_topo.dir/topo/topology.cpp.o"
+  "CMakeFiles/nestflow_topo.dir/topo/topology.cpp.o.d"
+  "CMakeFiles/nestflow_topo.dir/topo/torus.cpp.o"
+  "CMakeFiles/nestflow_topo.dir/topo/torus.cpp.o.d"
+  "libnestflow_topo.a"
+  "libnestflow_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestflow_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestflow_util.dir/util/cli.cpp.o"
+  "CMakeFiles/nestflow_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/nestflow_util.dir/util/csv.cpp.o"
+  "CMakeFiles/nestflow_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/nestflow_util.dir/util/log.cpp.o"
+  "CMakeFiles/nestflow_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/nestflow_util.dir/util/prng.cpp.o"
+  "CMakeFiles/nestflow_util.dir/util/prng.cpp.o.d"
+  "CMakeFiles/nestflow_util.dir/util/stats.cpp.o"
+  "CMakeFiles/nestflow_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/nestflow_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/nestflow_util.dir/util/thread_pool.cpp.o.d"
+  "libnestflow_util.a"
+  "libnestflow_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestflow_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

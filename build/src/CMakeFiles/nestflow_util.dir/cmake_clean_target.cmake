@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnestflow_util.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bisection.cpp" "src/CMakeFiles/nestflow_workloads.dir/workloads/bisection.cpp.o" "gcc" "src/CMakeFiles/nestflow_workloads.dir/workloads/bisection.cpp.o.d"
+  "/root/repo/src/workloads/collectives.cpp" "src/CMakeFiles/nestflow_workloads.dir/workloads/collectives.cpp.o" "gcc" "src/CMakeFiles/nestflow_workloads.dir/workloads/collectives.cpp.o.d"
+  "/root/repo/src/workloads/factory.cpp" "src/CMakeFiles/nestflow_workloads.dir/workloads/factory.cpp.o" "gcc" "src/CMakeFiles/nestflow_workloads.dir/workloads/factory.cpp.o.d"
+  "/root/repo/src/workloads/injection.cpp" "src/CMakeFiles/nestflow_workloads.dir/workloads/injection.cpp.o" "gcc" "src/CMakeFiles/nestflow_workloads.dir/workloads/injection.cpp.o.d"
+  "/root/repo/src/workloads/mapreduce.cpp" "src/CMakeFiles/nestflow_workloads.dir/workloads/mapreduce.cpp.o" "gcc" "src/CMakeFiles/nestflow_workloads.dir/workloads/mapreduce.cpp.o.d"
+  "/root/repo/src/workloads/nbodies.cpp" "src/CMakeFiles/nestflow_workloads.dir/workloads/nbodies.cpp.o" "gcc" "src/CMakeFiles/nestflow_workloads.dir/workloads/nbodies.cpp.o.d"
+  "/root/repo/src/workloads/stencil.cpp" "src/CMakeFiles/nestflow_workloads.dir/workloads/stencil.cpp.o" "gcc" "src/CMakeFiles/nestflow_workloads.dir/workloads/stencil.cpp.o.d"
+  "/root/repo/src/workloads/unstructured.cpp" "src/CMakeFiles/nestflow_workloads.dir/workloads/unstructured.cpp.o" "gcc" "src/CMakeFiles/nestflow_workloads.dir/workloads/unstructured.cpp.o.d"
+  "/root/repo/src/workloads/wavefront.cpp" "src/CMakeFiles/nestflow_workloads.dir/workloads/wavefront.cpp.o" "gcc" "src/CMakeFiles/nestflow_workloads.dir/workloads/wavefront.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/CMakeFiles/nestflow_workloads.dir/workloads/workload.cpp.o" "gcc" "src/CMakeFiles/nestflow_workloads.dir/workloads/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nestflow_flowsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestflow_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestflow_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nestflow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

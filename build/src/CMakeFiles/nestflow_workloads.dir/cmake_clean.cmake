@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestflow_workloads.dir/workloads/bisection.cpp.o"
+  "CMakeFiles/nestflow_workloads.dir/workloads/bisection.cpp.o.d"
+  "CMakeFiles/nestflow_workloads.dir/workloads/collectives.cpp.o"
+  "CMakeFiles/nestflow_workloads.dir/workloads/collectives.cpp.o.d"
+  "CMakeFiles/nestflow_workloads.dir/workloads/factory.cpp.o"
+  "CMakeFiles/nestflow_workloads.dir/workloads/factory.cpp.o.d"
+  "CMakeFiles/nestflow_workloads.dir/workloads/injection.cpp.o"
+  "CMakeFiles/nestflow_workloads.dir/workloads/injection.cpp.o.d"
+  "CMakeFiles/nestflow_workloads.dir/workloads/mapreduce.cpp.o"
+  "CMakeFiles/nestflow_workloads.dir/workloads/mapreduce.cpp.o.d"
+  "CMakeFiles/nestflow_workloads.dir/workloads/nbodies.cpp.o"
+  "CMakeFiles/nestflow_workloads.dir/workloads/nbodies.cpp.o.d"
+  "CMakeFiles/nestflow_workloads.dir/workloads/stencil.cpp.o"
+  "CMakeFiles/nestflow_workloads.dir/workloads/stencil.cpp.o.d"
+  "CMakeFiles/nestflow_workloads.dir/workloads/unstructured.cpp.o"
+  "CMakeFiles/nestflow_workloads.dir/workloads/unstructured.cpp.o.d"
+  "CMakeFiles/nestflow_workloads.dir/workloads/wavefront.cpp.o"
+  "CMakeFiles/nestflow_workloads.dir/workloads/wavefront.cpp.o.d"
+  "CMakeFiles/nestflow_workloads.dir/workloads/workload.cpp.o"
+  "CMakeFiles/nestflow_workloads.dir/workloads/workload.cpp.o.d"
+  "libnestflow_workloads.a"
+  "libnestflow_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestflow_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

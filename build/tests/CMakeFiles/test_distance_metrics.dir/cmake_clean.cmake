@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distance_metrics.dir/test_distance_metrics.cpp.o"
+  "CMakeFiles/test_distance_metrics.dir/test_distance_metrics.cpp.o.d"
+  "test_distance_metrics"
+  "test_distance_metrics.pdb"
+  "test_distance_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distance_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dragonfly.dir/test_dragonfly.cpp.o"
+  "CMakeFiles/test_dragonfly.dir/test_dragonfly.cpp.o.d"
+  "test_dragonfly"
+  "test_dragonfly.pdb"
+  "test_dragonfly[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dragonfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_latency.dir/test_engine_latency.cpp.o"
+  "CMakeFiles/test_engine_latency.dir/test_engine_latency.cpp.o.d"
+  "test_engine_latency"
+  "test_engine_latency.pdb"
+  "test_engine_latency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ghc.dir/test_ghc.cpp.o"
+  "CMakeFiles/test_ghc.dir/test_ghc.cpp.o.d"
+  "test_ghc"
+  "test_ghc.pdb"
+  "test_ghc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ghc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

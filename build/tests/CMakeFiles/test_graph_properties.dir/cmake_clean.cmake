@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_properties.dir/test_graph_properties.cpp.o"
+  "CMakeFiles/test_graph_properties.dir/test_graph_properties.cpp.o.d"
+  "test_graph_properties"
+  "test_graph_properties.pdb"
+  "test_graph_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jellyfish.dir/test_jellyfish.cpp.o"
+  "CMakeFiles/test_jellyfish.dir/test_jellyfish.cpp.o.d"
+  "test_jellyfish"
+  "test_jellyfish.pdb"
+  "test_jellyfish[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jellyfish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nested.dir/test_nested.cpp.o"
+  "CMakeFiles/test_nested.dir/test_nested.cpp.o.d"
+  "test_nested"
+  "test_nested.pdb"
+  "test_nested[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

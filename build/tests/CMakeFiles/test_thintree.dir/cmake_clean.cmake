@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thintree.dir/test_thintree.cpp.o"
+  "CMakeFiles/test_thintree.dir/test_thintree.cpp.o.d"
+  "test_thintree"
+  "test_thintree.pdb"
+  "test_thintree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thintree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_specs.dir/test_workload_specs.cpp.o"
+  "CMakeFiles/test_workload_specs.dir/test_workload_specs.cpp.o.d"
+  "test_workload_specs"
+  "test_workload_specs.pdb"
+  "test_workload_specs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
