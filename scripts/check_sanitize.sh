@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Build and run the test suite under AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+# Usage:
+#   scripts/check_sanitize.sh                 # full suite (slow)
+#   scripts/check_sanitize.sh -R Resilience   # any extra args go to ctest
+#
+# Uses a dedicated build tree (build-asan/) so the regular build stays fast.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="$repo_root/build-asan"
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DNESTFLOW_SANITIZE=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
+
+# halt_on_error keeps a first ASan report from being buried by later ones;
+# UBSan prints where each undefined operation happened.
+ASAN_OPTIONS=halt_on_error=1:detect_leaks=1 \
+UBSAN_OPTIONS=print_stacktrace=1 \
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)" "$@"

@@ -34,9 +34,17 @@ void FlowEngine::set_capacity_factor(LinkId link, double factor) {
   if (link >= link_capacity_.size()) {
     throw std::out_of_range("set_capacity_factor: bad link");
   }
-  if (factor <= 0.0 || factor > 1.0) {
+  if (std::isnan(factor)) {
+    throw std::invalid_argument("set_capacity_factor: factor is NaN");
+  }
+  if (factor < 0.0) {
     throw std::invalid_argument(
-        "set_capacity_factor: factor must be in (0, 1]");
+        "set_capacity_factor: factor is negative; use 0 for a dead link");
+  }
+  if (factor > 1.0) {
+    throw std::invalid_argument(
+        "set_capacity_factor: factor exceeds 1 (links cannot exceed "
+        "nominal capacity)");
   }
   link_capacity_[link] = link_base_capacity_[link] * factor;
 }
@@ -45,16 +53,19 @@ void FlowEngine::reset_capacity_factors() {
   link_capacity_ = link_base_capacity_;
 }
 
-void FlowEngine::activate(FlowIndex f) {
+bool FlowEngine::activate(FlowIndex f, SimResult& result) {
   const FlowSpec& spec = program_->flow(f);
   const Graph& graph = topology_.graph();
 
   route_scratch_.clear();
-  if (options_.adaptive_routing) {
-    topology_.route_adaptive(spec.src, spec.dst, route_scratch_,
-                             LinkLoads(link_active_count_, link_capacity_));
-  } else {
-    topology_.route(spec.src, spec.dst, route_scratch_);
+  const RouteOutcome outcome = topology_.try_route(
+      spec.src, spec.dst, route_scratch_,
+      LinkLoads(link_active_count_, link_capacity_),
+      options_.adaptive_routing);
+  if (outcome.status == RouteStatus::kStranded) return false;
+  if (outcome.status == RouteStatus::kRerouted) {
+    ++result.rerouted_flows;
+    result.reroute_extra_hops += outcome.extra_hops;
   }
 
   // Full resource path: injection NIC, transit links, consumption NIC.
@@ -93,6 +104,7 @@ void FlowEngine::activate(FlowIndex f) {
       used_links_.push_back(l);
     }
   }
+  return true;
 }
 
 void FlowEngine::complete(FlowIndex f, double now,
@@ -127,7 +139,61 @@ void FlowEngine::complete(FlowIndex f, double now,
   }
 
   for (const FlowIndex child : dag_scratch_->children(f)) {
-    if (--pending_parents_[child] == 0) ready.push_back(child);
+    // Children cancelled by a stranded ancestor stay cancelled.
+    if (--pending_parents_[child] == 0 &&
+        state_[child] == FlowState::kPending) {
+      ready.push_back(child);
+    }
+  }
+}
+
+void FlowEngine::strand(FlowIndex f, SimResult& result) {
+  state_[f] = FlowState::kCancelled;
+  ++result.stranded_flows;
+  result.undelivered_bytes += program_->flow(f).bytes;
+  if (!flow_finish_times_scratch_.empty()) {
+    flow_finish_times_scratch_[f] = std::numeric_limits<double>::quiet_NaN();
+  }
+  cancel_descendants(f, result);
+}
+
+void FlowEngine::strand_active(FlowIndex f, SimResult& result) {
+  // Undo the link occupancy activate() charged; no bytes were delivered
+  // (the flow's rate was 0 from the moment it activated — rates are
+  // recomputed before any time elapses).
+  const double weight = program_->flow(f).weight;
+  for (const LinkId l : path_view(f)) {
+    --link_active_count_[l];
+    link_weight_sum_[l] =
+        link_active_count_[l] == 0 ? 0.0 : link_weight_sum_[l] - weight;
+    ++link_dead_count_[l];
+  }
+  const auto len = path_length_[f];
+  if (len >= free_paths_by_length_.size()) {
+    free_paths_by_length_.resize(len + 1);
+  }
+  free_paths_by_length_[len].push_back(path_offset_[f]);
+  strand(f, result);
+}
+
+void FlowEngine::cancel_descendants(FlowIndex f, SimResult& result) {
+  cancel_stack_.assign(1, f);
+  while (!cancel_stack_.empty()) {
+    const FlowIndex parent = cancel_stack_.back();
+    cancel_stack_.pop_back();
+    for (const FlowIndex child : dag_scratch_->children(parent)) {
+      if (state_[child] != FlowState::kPending) continue;
+      state_[child] = FlowState::kCancelled;
+      if (!program_->flow(child).is_sync) {
+        ++result.cancelled_flows;
+        result.undelivered_bytes += program_->flow(child).bytes;
+      }
+      if (!flow_finish_times_scratch_.empty()) {
+        flow_finish_times_scratch_[child] =
+            std::numeric_limits<double>::quiet_NaN();
+      }
+      cancel_stack_.push_back(child);
+    }
   }
 }
 
@@ -191,6 +257,7 @@ SimResult FlowEngine::run(const TrafficProgram& program) {
     // time lies in the future are parked in the release queue.
     for (std::size_t i = 0; i < ready.size(); ++i) {
       const FlowIndex f = ready[i];
+      if (state_[f] != FlowState::kPending) continue;  // cancelled meanwhile
       const FlowSpec& spec = program.flow(f);
       if (spec.release_seconds > now * (1.0 + 1e-12) &&
           spec.release_seconds > 0.0) {
@@ -205,10 +272,15 @@ SimResult FlowEngine::run(const TrafficProgram& program) {
           flow_finish_times_scratch_[f] = now;
         }
         for (const FlowIndex child : dag.children(f)) {
-          if (--pending_parents_[child] == 0) ready.push_back(child);
+          if (--pending_parents_[child] == 0 &&
+              state_[child] == FlowState::kPending) {
+            ready.push_back(child);
+          }
         }
-      } else {
-        activate(f);
+      } else if (!activate(f, result)) {
+        // No surviving path (dead endpoint or partition): graceful
+        // degradation instead of a routing crash or an engine hang.
+        strand(f, result);
       }
     }
     ready.clear();
@@ -239,6 +311,23 @@ SimResult FlowEngine::run(const TrafficProgram& program) {
     result.solver_rounds += solver_.solve(ctx, used_links_,
                                           link_weight_sum_, active_flows_,
                                           rates_);
+    // A rate of 0 means a dead (capacity-0) link sits on the flow's path —
+    // it could never finish. Strand such flows and re-solve: graceful
+    // degradation for callers that inject hard faults without a
+    // fault-aware router.
+    bool stranded_any = false;
+    for (const FlowIndex f : active_flows_) {
+      if (rates_[f] <= 0.0 && remaining_[f] > 0.0) {
+        strand_active(f, result);
+        stranded_any = true;
+      }
+    }
+    if (stranded_any) {
+      std::erase_if(active_flows_, [this](FlowIndex f) {
+        return state_[f] != FlowState::kActive;
+      });
+      continue;
+    }
     if (options_.rate_quantum_rel > 0.0) {
       const double log_step = std::log1p(options_.rate_quantum_rel);
       for (const FlowIndex f : active_flows_) {
@@ -289,7 +378,8 @@ SimResult FlowEngine::run(const TrafficProgram& program) {
   }
 
   for (FlowIndex f = 0; f < n; ++f) {
-    if (state_[f] != FlowState::kDone) {
+    if (state_[f] != FlowState::kDone &&
+        state_[f] != FlowState::kCancelled) {
       throw std::logic_error("FlowEngine: flow never completed");
     }
   }
@@ -302,7 +392,7 @@ SimResult FlowEngine::run(const TrafficProgram& program) {
   for (LinkId l = 0; l < graph.num_links(); ++l) {
     const auto cls = static_cast<std::size_t>(graph.link(l).link_class);
     result.bytes_by_class[cls] += link_bytes_[l];
-    if (now > 0.0) {
+    if (now > 0.0 && link_capacity_[l] > 0.0) {
       result.max_link_utilization =
           std::max(result.max_link_utilization,
                    link_bytes_[l] / (link_capacity_[l] * now));

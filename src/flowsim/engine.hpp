@@ -65,6 +65,30 @@ struct SimResult {
   /// Bytes carried per link class (injection/consumption/torus/uplink/upper).
   std::array<double, 5> bytes_by_class{};
   std::vector<double> flow_finish_times;  // when record_flow_times is set
+
+  // --- Graceful degradation under hard faults (see src/resilience/) ------
+  /// Data flows with no surviving path: endpoints dead or partitioned
+  /// (Topology::try_route said kStranded), or every rate the solver could
+  /// grant them was 0 because a dead link sat on their path.
+  std::uint64_t stranded_flows = 0;
+  /// Data flows cancelled because a DAG ancestor was stranded: their
+  /// dependencies can never be satisfied, so they are abandoned with
+  /// accounting instead of deadlocking the event loop.
+  std::uint64_t cancelled_flows = 0;
+  /// Data flows that reached their destination over a surviving-graph
+  /// detour instead of their native route.
+  std::uint64_t rerouted_flows = 0;
+  /// Total detour cost: sum over rerouted flows of (detour hops - native
+  /// hops). Can go negative for nested topologies, whose composite native
+  /// routes are not graph-shortest.
+  std::int64_t reroute_extra_hops = 0;
+
+  /// Payload actually delivered = total_bytes minus the bytes of stranded
+  /// and cancelled flows (equals total_bytes on a healthy fabric).
+  [[nodiscard]] double delivered_bytes() const noexcept {
+    return total_bytes - undelivered_bytes;
+  }
+  double undelivered_bytes = 0.0;
 };
 
 class FlowEngine {
@@ -85,15 +109,19 @@ class FlowEngine {
 
   /// Degrades a link to `factor` of its nominal capacity (fault-injection
   /// support — the paper's future work on fault tolerance). factor must be
-  /// in (0, 1]: routing is oblivious to faults, so a dead link (0) would
-  /// stall flows forever; model hard failures as severe degradation
-  /// instead. Applies to subsequent run() calls until reset.
+  /// finite and in [0, 1]; 0 marks a dead link. Flows that end up with a
+  /// dead link on their path are stranded (reported in
+  /// SimResult::stranded_flows, their DAG descendants cancelled) rather
+  /// than stalling the event loop; pair dead links with a FaultAwareRouter
+  /// (src/resilience/) to route around them instead. Rejects NaN, negative
+  /// and > 1 factors with std::invalid_argument. Applies to subsequent
+  /// run() calls until reset.
   void set_capacity_factor(LinkId link, double factor);
   /// Restores every link to nominal capacity.
   void reset_capacity_factors();
 
  private:
-  enum class FlowState : std::uint8_t { kPending, kActive, kDone };
+  enum class FlowState : std::uint8_t { kPending, kActive, kDone, kCancelled };
 
   /// Solver context over the engine's structure-of-arrays state.
   struct EngineContext {
@@ -116,8 +144,17 @@ class FlowEngine {
   };
   friend struct EngineContext;
 
-  void activate(FlowIndex f);
+  /// Routes and activates f; returns false (leaving f untouched) when the
+  /// topology reports the pair stranded. Reroute accounting goes to result.
+  [[nodiscard]] bool activate(FlowIndex f, SimResult& result);
   void complete(FlowIndex f, double now, std::vector<FlowIndex>& ready);
+  /// Marks a never-activated flow stranded and cancels its DAG descendants.
+  void strand(FlowIndex f, SimResult& result);
+  /// Tears an *active* flow out of the network (a dead link on its path
+  /// zeroed its rate), then strands it as above.
+  void strand_active(FlowIndex f, SimResult& result);
+  /// Cancels every kPending transitive DAG descendant of f.
+  void cancel_descendants(FlowIndex f, SimResult& result);
   [[nodiscard]] std::span<const LinkId> path_view(FlowIndex f) const {
     return {path_arena_.data() + path_offset_[f], path_length_[f]};
   }
@@ -159,6 +196,7 @@ class FlowEngine {
   std::vector<std::pair<double, FlowIndex>> release_queue_;  // min-heap
   FairShareSolver<EngineContext> solver_;
   Path route_scratch_;
+  std::vector<FlowIndex> cancel_stack_;  // scratch for cancel_descendants
 };
 
 }  // namespace nestflow

@@ -37,10 +37,73 @@ void BfsScratch::run(const Graph& graph, NodeId source) {
   }
 }
 
+void BfsScratch::run_surviving(const Graph& graph, NodeId source,
+                               std::span<const std::uint8_t> link_alive,
+                               std::span<const std::uint8_t> node_alive) {
+  const auto n = graph.num_nodes();
+  distances_.assign(n, kUnreachable);
+  frontier_.clear();
+  next_frontier_.clear();
+  eccentricity_ = 0;
+  farthest_ = source;
+  reached_ = 0;
+
+  const auto alive_node = [&](NodeId v) {
+    return node_alive.empty() || node_alive[v] != 0;
+  };
+  if (!alive_node(source)) return;
+
+  distances_[source] = 0;
+  frontier_.push_back(source);
+  reached_ = 1;
+
+  std::uint32_t depth = 0;
+  while (!frontier_.empty()) {
+    ++depth;
+    next_frontier_.clear();
+    for (const NodeId u : frontier_) {
+      for (const LinkId l : graph.out_links(u)) {
+        if (!link_alive.empty() && link_alive[l] == 0) continue;
+        const NodeId v = graph.link(l).dst;
+        if (distances_[v] != kUnreachable || !alive_node(v)) continue;
+        distances_[v] = depth;
+        next_frontier_.push_back(v);
+      }
+    }
+    if (!next_frontier_.empty()) {
+      eccentricity_ = depth;
+      farthest_ = next_frontier_.front();
+      reached_ += static_cast<std::uint32_t>(next_frontier_.size());
+    }
+    std::swap(frontier_, next_frontier_);
+  }
+}
+
 std::vector<std::uint32_t> bfs_distances(const Graph& graph, NodeId source) {
   BfsScratch scratch;
   scratch.run(graph, source);
   return scratch.distances();
+}
+
+std::uint32_t surviving_components(const Graph& graph,
+                                   std::span<const std::uint8_t> link_alive,
+                                   std::span<const std::uint8_t> node_alive,
+                                   std::vector<std::uint32_t>& component_of) {
+  const auto n = graph.num_nodes();
+  component_of.assign(n, kUnreachable);
+  std::uint32_t count = 0;
+  BfsScratch scratch;
+  for (NodeId seed = 0; seed < n; ++seed) {
+    if (component_of[seed] != kUnreachable) continue;
+    if (!node_alive.empty() && node_alive[seed] == 0) continue;
+    scratch.run_surviving(graph, seed, link_alive, node_alive);
+    const auto& dist = scratch.distances();
+    for (NodeId v = 0; v < n; ++v) {
+      if (dist[v] != kUnreachable) component_of[v] = count;
+    }
+    ++count;
+  }
+  return count;
 }
 
 }  // namespace nestflow

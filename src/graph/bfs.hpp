@@ -1,8 +1,10 @@
 // Breadth-first search over transit links. Used by topological distance
-// metrics (Table 1) and by structural validation (connectivity).
+// metrics (Table 1), structural validation (connectivity), and fault-aware
+// rerouting (surviving-subgraph searches and partition detection).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -18,6 +20,14 @@ class BfsScratch {
   /// Hop distances from `source` over all transit links.
   /// distances()[v] == kUnreachable for unreachable v.
   void run(const Graph& graph, NodeId source);
+
+  /// Same, restricted to the surviving subgraph: links l with
+  /// link_alive[l] == 0 and nodes n with node_alive[n] == 0 are skipped.
+  /// Either mask may be empty (= everything alive). A dead source reaches
+  /// nothing (distances()[source] stays kUnreachable, reached() == 0).
+  void run_surviving(const Graph& graph, NodeId source,
+                     std::span<const std::uint8_t> link_alive,
+                     std::span<const std::uint8_t> node_alive);
 
   [[nodiscard]] const std::vector<std::uint32_t>& distances() const noexcept {
     return distances_;
@@ -48,5 +58,17 @@ class BfsScratch {
 /// One-shot convenience wrapper.
 [[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& graph,
                                                        NodeId source);
+
+/// Connected-component labels of the surviving transit graph: fills
+/// `component_of` (one entry per node) with labels in [0, count); dead nodes
+/// get kUnreachable. Returns the number of surviving components. Masks as in
+/// BfsScratch::run_surviving. The transit graph is built from duplex cable
+/// pairs, so as long as faults kill cables (both directions together) the
+/// surviving graph stays symmetric and these are the usual undirected
+/// components.
+std::uint32_t surviving_components(const Graph& graph,
+                                   std::span<const std::uint8_t> link_alive,
+                                   std::span<const std::uint8_t> node_alive,
+                                   std::vector<std::uint32_t>& component_of);
 
 }  // namespace nestflow

@@ -1,0 +1,128 @@
+#include "resilience/fault_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "flowsim/engine.hpp"
+#include "util/prng.hpp"
+
+namespace nestflow {
+
+namespace {
+
+/// Stream tag separating fault draws from workload draws on the same seed.
+constexpr std::uint64_t kFaultStream = 0xfa0170;
+
+}  // namespace
+
+FaultModel::FaultModel(const Graph& graph)
+    : graph_(&graph),
+      link_alive_(graph.num_transit_links(), 1),
+      node_alive_(graph.num_nodes(), 1),
+      degrade_factor_(graph.num_transit_links(), 1.0) {}
+
+void FaultModel::kill_cable(LinkId link) {
+  if (link >= graph_->num_links()) {
+    throw std::out_of_range("FaultModel::kill_cable: bad link id");
+  }
+  if (link >= graph_->num_transit_links()) {
+    throw std::invalid_argument(
+        "FaultModel::kill_cable: NIC links have no cable; use kill_node "
+        "for endpoint failures");
+  }
+  const LinkId reverse = graph_->link(link).reverse;
+  if (link_alive_[link] == 0) return;
+  link_alive_[link] = 0;
+  if (reverse != kInvalidLink) link_alive_[reverse] = 0;
+  ++num_dead_cables_;
+}
+
+void FaultModel::kill_node(NodeId node) {
+  if (node >= graph_->num_nodes()) {
+    throw std::out_of_range("FaultModel::kill_node: bad node id");
+  }
+  if (node_alive_[node] == 0) return;
+  node_alive_[node] = 0;
+  ++num_dead_nodes_;
+  for (const LinkId l : graph_->out_links(node)) kill_cable(l);
+}
+
+void FaultModel::degrade_cable(LinkId link, double factor) {
+  if (link >= graph_->num_transit_links()) {
+    throw std::out_of_range("FaultModel::degrade_cable: bad transit link id");
+  }
+  if (!std::isfinite(factor) || factor <= 0.0 || factor >= 1.0) {
+    throw std::invalid_argument(
+        "FaultModel::degrade_cable: factor must be in (0, 1); use "
+        "kill_cable for dead cables");
+  }
+  if (degrade_factor_[link] == 1.0) ++num_degraded_cables_;
+  degrade_factor_[link] = factor;
+  const LinkId reverse = graph_->link(link).reverse;
+  if (reverse != kInvalidLink) degrade_factor_[reverse] = factor;
+}
+
+void FaultModel::apply(FlowEngine& engine) const {
+  for (LinkId l = 0; l < graph_->num_transit_links(); ++l) {
+    if (link_alive_[l] == 0) {
+      engine.set_capacity_factor(l, 0.0);
+    } else if (degrade_factor_[l] != 1.0) {
+      engine.set_capacity_factor(l, degrade_factor_[l]);
+    }
+  }
+  for (NodeId n = 0; n < graph_->num_endpoints(); ++n) {
+    if (node_alive_[n] != 0) continue;
+    engine.set_capacity_factor(graph_->injection_link(n), 0.0);
+    engine.set_capacity_factor(graph_->consumption_link(n), 0.0);
+  }
+}
+
+FaultModel FaultModel::random_cable_faults(const Graph& graph,
+                                           double kill_fraction,
+                                           std::uint64_t seed) {
+  if (!std::isfinite(kill_fraction) || kill_fraction < 0.0 ||
+      kill_fraction > 1.0) {
+    throw std::invalid_argument(
+        "FaultModel::random_cable_faults: kill_fraction must be in [0, 1]");
+  }
+  FaultModel model(graph);
+  // One id per cable: the lower-numbered direction of each duplex pair.
+  std::vector<LinkId> cables;
+  for (LinkId l = 0; l < graph.num_transit_links(); ++l) {
+    if (graph.link(l).reverse > l) cables.push_back(l);
+  }
+  if (kill_fraction == 0.0 || cables.empty()) return model;
+  auto kills = static_cast<std::uint64_t>(
+      kill_fraction * static_cast<double>(cables.size()));
+  kills = std::max<std::uint64_t>(kills, 1);
+  Prng prng(seed, kFaultStream);
+  for (const auto i : prng.sample_without_replacement(cables.size(), kills)) {
+    model.kill_cable(cables[i]);
+  }
+  return model;
+}
+
+FaultModel FaultModel::random_endpoint_faults(const Graph& graph,
+                                              double kill_fraction,
+                                              std::uint64_t seed) {
+  if (!std::isfinite(kill_fraction) || kill_fraction < 0.0 ||
+      kill_fraction > 1.0) {
+    throw std::invalid_argument(
+        "FaultModel::random_endpoint_faults: kill_fraction must be in "
+        "[0, 1]");
+  }
+  FaultModel model(graph);
+  const std::uint64_t endpoints = graph.num_endpoints();
+  if (kill_fraction == 0.0 || endpoints == 0) return model;
+  auto kills = static_cast<std::uint64_t>(
+      kill_fraction * static_cast<double>(endpoints));
+  kills = std::max<std::uint64_t>(kills, 1);
+  Prng prng(seed, kFaultStream + 1);
+  for (const auto n : prng.sample_without_replacement(endpoints, kills)) {
+    model.kill_node(static_cast<NodeId>(n));
+  }
+  return model;
+}
+
+}  // namespace nestflow

@@ -1,0 +1,114 @@
+// Deterministic hard/soft fault scenarios over a topology's graph.
+//
+// A FaultModel records which cables (duplex transit-link pairs) and nodes
+// (QFDBs or switches) are dead and which links are degraded. It is the
+// single source of truth the resilience stack shares:
+//
+//   * FaultAwareRouter consults it to route around faults and to classify
+//     endpoint pairs as reachable or stranded (see fault_router.hpp);
+//   * apply(FlowEngine&) pushes the same scenario into the engine's link
+//     capacities (dead = factor 0, degraded = the given factor) so rate
+//     allocation matches the routing view.
+//
+// Faults are cable-granular: killing one direction of a full-duplex cable
+// without the other has no physical counterpart in the ExaNeSt fabric
+// (a transceiver or board dies whole), and cable symmetry is what keeps the
+// surviving transit graph symmetric for BFS rerouting.
+//
+// Scenarios are deterministic in (graph, parameters, seed): the random
+// generators draw from the same seeded Prng streams as the workloads, so a
+// degradation sweep is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace nestflow {
+
+class FlowEngine;
+
+class FaultModel {
+ public:
+  /// An all-healthy scenario over `graph`. The graph must outlive the model.
+  explicit FaultModel(const Graph& graph);
+
+  /// Kills the duplex cable containing transit link `link` (both
+  /// directions). Throws std::out_of_range for bad ids and
+  /// std::invalid_argument for NIC links (kill the endpoint instead).
+  /// Idempotent.
+  void kill_cable(LinkId link);
+
+  /// Kills a node and every transit cable incident to it. For endpoints
+  /// this models a dead QFDB/NIC: all its flows become stranded. Idempotent.
+  void kill_node(NodeId node);
+
+  /// Degrades the duplex cable containing `link` to `factor` of nominal
+  /// capacity in both directions. factor must be finite and in (0, 1);
+  /// use kill_cable for hard failures. Later calls overwrite earlier ones;
+  /// killing a degraded cable wins.
+  void degrade_cable(LinkId link, double factor);
+
+  [[nodiscard]] bool empty() const noexcept {
+    return num_dead_cables_ == 0 && num_dead_nodes_ == 0 &&
+           num_degraded_cables_ == 0;
+  }
+  [[nodiscard]] bool link_dead(LinkId link) const noexcept {
+    return link < link_alive_.size() && link_alive_[link] == 0;
+  }
+  [[nodiscard]] bool node_dead(NodeId node) const noexcept {
+    return node < node_alive_.size() && node_alive_[node] == 0;
+  }
+  [[nodiscard]] std::uint32_t num_dead_cables() const noexcept {
+    return num_dead_cables_;
+  }
+  [[nodiscard]] std::uint32_t num_dead_nodes() const noexcept {
+    return num_dead_nodes_;
+  }
+  [[nodiscard]] std::uint32_t num_degraded_cables() const noexcept {
+    return num_degraded_cables_;
+  }
+
+  /// Per-transit-link / per-node alive masks (1 = alive), sized to the
+  /// graph. Consumed by the surviving-subgraph BFS helpers.
+  [[nodiscard]] std::span<const std::uint8_t> link_alive() const noexcept {
+    return link_alive_;
+  }
+  [[nodiscard]] std::span<const std::uint8_t> node_alive() const noexcept {
+    return node_alive_;
+  }
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+
+  /// Pushes the scenario into an engine built over the same topology:
+  /// capacity factor 0 for dead transit links and for the NIC links of dead
+  /// endpoints, the degradation factor for degraded links. Call after
+  /// reset_capacity_factors() when reusing an engine across scenarios.
+  void apply(FlowEngine& engine) const;
+
+  /// Seeded scenario: kills floor(kill_fraction * cables) random transit
+  /// cables (at least one when kill_fraction > 0 and cables exist).
+  [[nodiscard]] static FaultModel random_cable_faults(const Graph& graph,
+                                                      double kill_fraction,
+                                                      std::uint64_t seed);
+
+  /// Seeded scenario: kills floor(kill_fraction * endpoints) random
+  /// endpoints (at least one when kill_fraction > 0), taking their incident
+  /// cables down with them.
+  [[nodiscard]] static FaultModel random_endpoint_faults(const Graph& graph,
+                                                         double kill_fraction,
+                                                         std::uint64_t seed);
+
+ private:
+  const Graph* graph_;
+  std::vector<std::uint8_t> link_alive_;   // transit links only
+  std::vector<std::uint8_t> node_alive_;
+  std::vector<double> degrade_factor_;     // 1.0 = nominal, per transit link
+  std::uint32_t num_dead_cables_ = 0;
+  std::uint32_t num_dead_nodes_ = 0;
+  std::uint32_t num_degraded_cables_ = 0;
+};
+
+}  // namespace nestflow

@@ -1,0 +1,170 @@
+#include "resilience/fault_router.hpp"
+
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+
+namespace nestflow {
+
+FaultAwareRouter::FaultAwareRouter(const Topology& inner,
+                                   const FaultModel& faults)
+    : inner_(inner), faults_(faults), has_faults_(!faults.empty()) {
+  if (&faults.graph() != &inner.graph()) {
+    throw std::invalid_argument(
+        "FaultAwareRouter: fault model was built over a different graph");
+  }
+  adopt_graph(Graph(inner.graph()));
+  num_components_ = surviving_components(graph_, faults_.link_alive(),
+                                         faults_.node_alive(), component_);
+}
+
+bool FaultAwareRouter::reachable(NodeId a, NodeId b) const noexcept {
+  if (!has_faults_) return true;
+  if (a >= component_.size() || b >= component_.size()) return false;
+  return component_[a] != kUnreachable && component_[a] == component_[b];
+}
+
+std::uint64_t FaultAwareRouter::stranded_endpoint_pairs() const noexcept {
+  const std::uint64_t endpoints = graph_.num_endpoints();
+  const std::uint64_t total = endpoints * (endpoints - 1);
+  if (!has_faults_) return 0;
+  std::vector<std::uint64_t> alive_per_component(num_components_, 0);
+  for (NodeId n = 0; n < endpoints; ++n) {
+    if (component_[n] != kUnreachable) ++alive_per_component[component_[n]];
+  }
+  std::uint64_t reachable_pairs = 0;
+  for (const auto count : alive_per_component) {
+    reachable_pairs += count * (count - 1);
+  }
+  return total - reachable_pairs;
+}
+
+bool FaultAwareRouter::path_crosses_fault(const Path& path) const noexcept {
+  for (const LinkId l : path.links) {
+    if (faults_.link_dead(l)) return true;
+  }
+  return false;
+}
+
+std::shared_ptr<const FaultAwareRouter::RerouteTree>
+FaultAwareRouter::tree_for(NodeId dst) const {
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = tree_cache_.find(dst);
+    if (it != tree_cache_.end()) return it->second;
+  }
+
+  // Build outside the lock: concurrent builders for the same destination
+  // produce identical trees, so a duplicated BFS is the only waste.
+  auto tree = std::make_shared<RerouteTree>();
+  tree->next_link.assign(graph_.num_nodes(), kInvalidLink);
+  BfsScratch scratch;
+  scratch.run_surviving(graph_, dst, faults_.link_alive(),
+                        faults_.node_alive());
+  tree->dist = scratch.distances();
+  // Re-walk the BFS edges to record, per reached node v, the first link of
+  // v's surviving shortest path towards dst: v was discovered over some
+  // alive cable u -> v with dist[u] == dist[v] - 1, so the reverse
+  // direction v -> u (alive, cables die whole) is v's next hop.
+  for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+    if (tree->dist[u] == kUnreachable) continue;
+    for (const LinkId l : graph_.out_links(u)) {
+      if (faults_.link_dead(l)) continue;
+      const NodeId v = graph_.link(l).dst;
+      if (tree->dist[v] != tree->dist[u] + 1) continue;
+      const LinkId back = graph_.link(l).reverse;
+      if (tree->next_link[v] == kInvalidLink || back < tree->next_link[v]) {
+        tree->next_link[v] = back;  // lowest link id: deterministic choice
+      }
+    }
+  }
+
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (tree_cache_.size() >= kMaxCachedTrees) tree_cache_.clear();
+  return tree_cache_.try_emplace(dst, std::move(tree)).first->second;
+}
+
+bool FaultAwareRouter::reroute(std::uint32_t src, std::uint32_t dst,
+                               Path& path) const {
+  path.clear();
+  const auto tree = tree_for(dst);
+  if (tree->dist[src] == kUnreachable) return false;
+  NodeId u = src;
+  while (u != dst) {
+    const LinkId l = tree->next_link[u];
+    path.links.push_back(l);
+    u = graph_.link(l).dst;
+  }
+  return true;
+}
+
+RouteOutcome FaultAwareRouter::try_route(std::uint32_t src, std::uint32_t dst,
+                                         Path& path, const LinkLoads& loads,
+                                         bool adaptive) const {
+  path.clear();
+  if (!has_faults_) {
+    // Straight to the inner routing function (not Topology::try_route,
+    // whose virtual route()/route_adaptive() dispatch would land back in
+    // this wrapper): zero faults means zero overhead and zero change.
+    if (adaptive) {
+      inner_.route_adaptive(src, dst, path, loads);
+    } else {
+      inner_.route(src, dst, path);
+    }
+    return {};
+  }
+  if (!reachable(src, dst) && src != dst) {
+    return {RouteStatus::kStranded, 0};
+  }
+  if (faults_.node_dead(src) || faults_.node_dead(dst)) {
+    // src == dst on a dead endpoint (self-flow over a dead NIC).
+    return {RouteStatus::kStranded, 0};
+  }
+  if (adaptive) {
+    inner_.route_adaptive(src, dst, path, loads);
+  } else {
+    inner_.route(src, dst, path);
+  }
+  if (!path_crosses_fault(path)) return {RouteStatus::kNative, 0};
+
+  const auto native_hops = static_cast<std::int32_t>(path.hops());
+  if (!reroute(src, dst, path)) {
+    // Unreachable despite the audit saying otherwise would be a bug; the
+    // audit and the reroute BFS walk the same masks, so this cannot happen.
+    return {RouteStatus::kStranded, 0};
+  }
+  return {RouteStatus::kRerouted,
+          static_cast<std::int32_t>(path.hops()) - native_hops};
+}
+
+void FaultAwareRouter::route(std::uint32_t src, std::uint32_t dst,
+                             Path& path) const {
+  const auto outcome =
+      try_route(src, dst, path, LinkLoads({}, {}), /*adaptive=*/false);
+  if (outcome.status == RouteStatus::kStranded) {
+    throw std::runtime_error(
+        "FaultAwareRouter: no surviving path between endpoints " +
+        std::to_string(src) + " and " + std::to_string(dst));
+  }
+}
+
+void FaultAwareRouter::route_adaptive(std::uint32_t src, std::uint32_t dst,
+                                      Path& path,
+                                      const LinkLoads& loads) const {
+  const auto outcome = try_route(src, dst, path, loads, /*adaptive=*/true);
+  if (outcome.status == RouteStatus::kStranded) {
+    throw std::runtime_error(
+        "FaultAwareRouter: no surviving path between endpoints " +
+        std::to_string(src) + " and " + std::to_string(dst));
+  }
+}
+
+std::string FaultAwareRouter::name() const {
+  if (!has_faults_) return inner_.name();
+  return inner_.name() + "+faults(cables=" +
+         std::to_string(faults_.num_dead_cables()) +
+         ",nodes=" + std::to_string(faults_.num_dead_nodes()) +
+         ",degraded=" + std::to_string(faults_.num_degraded_cables()) + ")";
+}
+
+}  // namespace nestflow

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <utility>
@@ -49,16 +50,34 @@ class LinkLoads {
   [[nodiscard]] std::uint32_t count(LinkId l) const noexcept {
     return l < counts_.size() ? counts_[l] : 0;
   }
-  /// Congestion cost of adding one more flow; lower is better.
+  /// Congestion cost of adding one more flow; lower is better. A dead link
+  /// (capacity 0 after hard-fault injection) costs infinity so adaptive
+  /// choices never prefer it when any live alternative exists.
   [[nodiscard]] double cost(LinkId l) const noexcept {
-    const double capacity =
-        l < capacities_.size() && capacities_[l] > 0.0 ? capacities_[l] : 1.0;
+    const double capacity = l < capacities_.size() ? capacities_[l] : 1.0;
+    if (capacity <= 0.0) return std::numeric_limits<double>::infinity();
     return static_cast<double>(count(l) + 1) / capacity;
   }
 
  private:
   std::span<const std::uint32_t> counts_;
   std::span<const double> capacities_;
+};
+
+/// How a fault-aware routing attempt ended (see Topology::try_route).
+enum class RouteStatus : std::uint8_t {
+  kNative,    // the topology's own routing function produced the path
+  kRerouted,  // native path crossed a fault; a surviving-graph detour is used
+  kStranded,  // no surviving path exists (dead endpoint or partition)
+};
+
+struct RouteOutcome {
+  RouteStatus status = RouteStatus::kNative;
+  /// Rerouted-path hops minus the native route's hops (kRerouted only).
+  /// Negative values are possible for composite routing functions (the
+  /// nested topologies) whose native routes are not graph-shortest: the
+  /// surviving-graph BFS detour can undercut them.
+  std::int32_t extra_hops = 0;
 };
 
 class Topology {
@@ -90,6 +109,24 @@ class Topology {
                               Path& path, const LinkLoads& loads) const {
     (void)loads;
     route(src, dst, path);
+  }
+
+  /// Fault-aware routing entry point used by the flow engine. The base
+  /// implementation never fails: it dispatches to route_adaptive()/route()
+  /// and reports kNative (healthy fabrics have no faults to avoid).
+  /// FaultAwareRouter overrides this to detour around dead links/nodes and
+  /// to classify unroutable endpoint pairs as kStranded, in which case
+  /// `path` is left empty and must not be used.
+  [[nodiscard]] virtual RouteOutcome try_route(std::uint32_t src,
+                                               std::uint32_t dst, Path& path,
+                                               const LinkLoads& loads,
+                                               bool adaptive) const {
+    if (adaptive) {
+      route_adaptive(src, dst, path, loads);
+    } else {
+      route(src, dst, path);
+    }
+    return {};
   }
 
   /// Hop count of route(src, dst) without exposing the path buffer.

@@ -1,0 +1,167 @@
+// Property tests for fault-aware routing: for every topology family, kill
+// random cables and nodes under several seeds and check, against an
+// independent surviving-subgraph BFS, that
+//   * every returned path is a valid src -> dst walk over alive links,
+//   * kNative paths equal the topology's own route (same hops),
+//   * kRerouted paths are minimal over the surviving graph,
+//   * stranded verdicts agree exactly with BFS reachability.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "resilience/fault_model.hpp"
+#include "resilience/fault_router.hpp"
+#include "topo/factory.hpp"
+
+namespace nestflow {
+namespace {
+
+const std::vector<std::string>& family_specs() {
+  static const std::vector<std::string> specs = {
+      "torus:4x4x2",     "fattree:4,4",    "thintree:4,2,2",
+      "nesttree:64,2,2", "nestghc:64,2,2", "dragonfly:2,4,2",
+      "jellyfish:24,2,4,7"};
+  return specs;
+}
+
+void check_routing_properties(const Topology& topology,
+                              const FaultModel& faults,
+                              const std::string& context) {
+  const FaultAwareRouter router(topology, faults);
+  const Graph& graph = topology.graph();
+  const std::uint32_t endpoints = topology.num_endpoints();
+  const LinkLoads no_loads({}, {});
+
+  BfsScratch bfs;
+  Path path;
+  std::uint64_t stranded_seen = 0;
+  std::uint64_t rerouted_seen = 0;
+  for (std::uint32_t src = 0; src < endpoints; ++src) {
+    bfs.run_surviving(graph, src, faults.link_alive(), faults.node_alive());
+    const auto& dist = bfs.distances();
+    for (std::uint32_t dst = 0; dst < endpoints; ++dst) {
+      if (src == dst) continue;
+      const bool bfs_reachable = dist[dst] != kUnreachable &&
+                                 !faults.node_dead(src) &&
+                                 !faults.node_dead(dst);
+      const auto outcome =
+          router.try_route(src, dst, path, no_loads, /*adaptive=*/false);
+      const std::string pair = context + " " + std::to_string(src) + "->" +
+                               std::to_string(dst);
+
+      if (outcome.status == RouteStatus::kStranded) {
+        EXPECT_FALSE(bfs_reachable) << pair << ": stranded but reachable";
+        ++stranded_seen;
+        continue;
+      }
+      ASSERT_TRUE(bfs_reachable) << pair << ": routed but unreachable";
+
+      // The path must be a dead-link-free walk from src to dst.
+      NodeId at = src;
+      for (const LinkId l : path.links) {
+        EXPECT_FALSE(faults.link_dead(l)) << pair << ": dead link on path";
+        ASSERT_EQ(graph.link(l).src, at) << pair << ": disconnected walk";
+        at = graph.link(l).dst;
+        EXPECT_FALSE(faults.node_dead(at)) << pair << ": dead node on path";
+      }
+      EXPECT_EQ(at, dst) << pair << ": path does not reach dst";
+
+      if (outcome.status == RouteStatus::kNative) {
+        EXPECT_EQ(path.hops(), topology.route_distance(src, dst))
+            << pair << ": native path length drifted";
+      } else {
+        // Rerouted paths are shortest over the surviving graph.
+        EXPECT_EQ(path.hops(), dist[dst])
+            << pair << ": reroute is not minimal";
+        EXPECT_EQ(static_cast<std::int32_t>(path.hops()),
+                  static_cast<std::int32_t>(
+                      topology.route_distance(src, dst)) +
+                      outcome.extra_hops)
+            << pair << ": extra-hop accounting inconsistent";
+        ++rerouted_seen;
+      }
+    }
+  }
+  // The scenarios are sized so the interesting branches actually fire.
+  EXPECT_GT(rerouted_seen + stranded_seen, 0u)
+      << context << ": fault scenario exercised nothing";
+}
+
+TEST(FaultRouting, CableFaultScenarios) {
+  for (const auto& spec : family_specs()) {
+    for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      const auto topology = make_topology(spec);
+      const auto faults =
+          FaultModel::random_cable_faults(topology->graph(), 0.08, seed);
+      ASSERT_GT(faults.num_dead_cables(), 0u);
+      check_routing_properties(
+          *topology, faults,
+          spec + " seed=" + std::to_string(seed) + " cables");
+    }
+  }
+}
+
+TEST(FaultRouting, NodeAndCableFaultScenarios) {
+  for (const auto& spec : family_specs()) {
+    for (const std::uint64_t seed : {5ull, 11ull}) {
+      const auto topology = make_topology(spec);
+      auto faults =
+          FaultModel::random_cable_faults(topology->graph(), 0.05, seed);
+      // Kill one endpoint and one switch (when the topology has switches).
+      faults.kill_node(
+          static_cast<NodeId>(seed % topology->num_endpoints()));
+      const Graph& graph = topology->graph();
+      if (graph.num_switches() > 0) {
+        faults.kill_node(graph.num_endpoints() +
+                         static_cast<NodeId>(seed % graph.num_switches()));
+      }
+      check_routing_properties(
+          *topology, faults,
+          spec + " seed=" + std::to_string(seed) + " nodes");
+    }
+  }
+}
+
+TEST(FaultRouting, ExtremeKillFractionNeverCrashes) {
+  // 40% of cables dead: most fabrics partition. Everything must still be
+  // classified cleanly (this is the graceful part of graceful degradation).
+  for (const auto& spec : family_specs()) {
+    const auto topology = make_topology(spec);
+    const auto faults =
+        FaultModel::random_cable_faults(topology->graph(), 0.4, 99);
+    check_routing_properties(*topology, faults, spec + " extreme");
+  }
+}
+
+TEST(FaultRouting, AdaptiveFallbackAvoidsDeadLinks) {
+  // The adaptive entry point must obey the same safety property.
+  const auto tree = make_topology("fattree:4,4");
+  const auto faults = FaultModel::random_cable_faults(tree->graph(), 0.15, 3);
+  const FaultAwareRouter router(*tree, faults);
+  const Graph& graph = tree->graph();
+  std::vector<std::uint32_t> counts(graph.num_links(), 0);
+  std::vector<double> caps(graph.num_links(), 1.0);
+  const LinkLoads loads(counts, caps);
+
+  Path path;
+  for (std::uint32_t src = 0; src < tree->num_endpoints(); ++src) {
+    for (std::uint32_t dst = 0; dst < tree->num_endpoints(); ++dst) {
+      if (src == dst) continue;
+      const auto outcome =
+          router.try_route(src, dst, path, loads, /*adaptive=*/true);
+      if (outcome.status == RouteStatus::kStranded) continue;
+      NodeId at = src;
+      for (const LinkId l : path.links) {
+        EXPECT_FALSE(faults.link_dead(l));
+        ASSERT_EQ(graph.link(l).src, at);
+        at = graph.link(l).dst;
+      }
+      EXPECT_EQ(at, dst);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nestflow

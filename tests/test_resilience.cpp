@@ -1,8 +1,16 @@
-// Tests for the link-degradation (fault-injection) engine support.
+// Tests for fault injection and graceful degradation: capacity-factor
+// (soft) faults, dead links/nodes (hard faults) with fault-aware rerouting,
+// stranded-flow classification, and DAG-phase cancellation accounting.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "flowsim/engine.hpp"
+#include "resilience/fault_model.hpp"
+#include "resilience/fault_router.hpp"
 #include "topo/factory.hpp"
+#include "workloads/factory.hpp"
 
 namespace nestflow {
 namespace {
@@ -51,9 +59,15 @@ TEST(Resilience, DegradedNicSerialisesHarder) {
 TEST(Resilience, RejectsBadFactors) {
   const TorusTopology torus({8});
   FlowEngine engine(torus);
-  EXPECT_THROW(engine.set_capacity_factor(0, 0.0), std::invalid_argument);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(engine.set_capacity_factor(0, nan), std::invalid_argument);
+  EXPECT_THROW(engine.set_capacity_factor(0, -0.5), std::invalid_argument);
   EXPECT_THROW(engine.set_capacity_factor(0, 1.5), std::invalid_argument);
+  EXPECT_THROW(engine.set_capacity_factor(0, -nan), std::invalid_argument);
   EXPECT_THROW(engine.set_capacity_factor(999999, 0.5), std::out_of_range);
+  // Hard faults (factor 0) are now a supported scenario.
+  EXPECT_NO_THROW(engine.set_capacity_factor(0, 0.0));
+  EXPECT_NO_THROW(engine.set_capacity_factor(0, 1.0));
 }
 
 TEST(Resilience, AdaptiveFattreeRoutesAroundDegradedUplinks) {
@@ -84,6 +98,244 @@ TEST(Resilience, AdaptiveFattreeRoutesAroundDegradedUplinks) {
   // (every flow pinned to a 10x slower link).
   EXPECT_LT(t_degraded, 10.0 * t_healthy);
   EXPECT_GE(t_degraded, t_healthy * (1 - 1e-9));
+}
+
+// --- Hard faults: dead cables, dead nodes, graceful degradation ----------
+
+TEST(Resilience, DeadCableReroutesTheLongWay) {
+  // Ring of 8: killing cable 1<->0 forces the 1 -> 0 flow the long way
+  // around (7 hops instead of 1).
+  const TorusTopology ring({8});
+  FaultModel faults(ring.graph());
+  faults.kill_cable(ring.graph().find_link(1, 0));
+  const FaultAwareRouter router(ring, faults);
+  EXPECT_EQ(router.num_surviving_components(), 1u);
+  EXPECT_EQ(router.stranded_endpoint_pairs(), 0u);
+
+  FlowEngine engine(router);
+  faults.apply(engine);
+  TrafficProgram program;
+  program.add_flow(1, 0, kBps);
+  const SimResult result = engine.run(program);
+  EXPECT_NEAR(result.makespan, 1.0, 1e-9);  // bandwidth model: same time
+  EXPECT_EQ(result.stranded_flows, 0u);
+  EXPECT_EQ(result.cancelled_flows, 0u);
+  EXPECT_EQ(result.rerouted_flows, 1u);
+  EXPECT_EQ(result.reroute_extra_hops, 6);  // 7 surviving hops vs 1 native
+  EXPECT_DOUBLE_EQ(result.delivered_bytes(), result.total_bytes);
+}
+
+TEST(Resilience, DeadEndpointStrandsItsFlows) {
+  const TorusTopology ring({8});
+  FaultModel faults(ring.graph());
+  faults.kill_node(3);
+  const FaultAwareRouter router(ring, faults);
+
+  FlowEngine engine(router);
+  faults.apply(engine);
+  TrafficProgram program;
+  program.add_flow(2, 3, kBps);  // into the dead QFDB: stranded
+  program.add_flow(3, 5, kBps);  // out of the dead QFDB: stranded
+  program.add_flow(1, 2, kBps);  // unaffected
+  program.add_flow(2, 4, kBps);  // native DOR crosses node 3: rerouted
+  const SimResult result = engine.run(program);
+  EXPECT_EQ(result.stranded_flows, 2u);
+  EXPECT_EQ(result.cancelled_flows, 0u);
+  EXPECT_EQ(result.rerouted_flows, 1u);
+  // 2 -> 4 the long way: 2,1,0,7,6,5,4 = 6 hops vs 2 native.
+  EXPECT_EQ(result.reroute_extra_hops, 4);
+  EXPECT_NEAR(result.makespan, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(result.undelivered_bytes, 2.0 * kBps);
+}
+
+TEST(Resilience, PartitionedTorusClassifiesPairs) {
+  // Cutting two cables of a ring partitions it: {1,2,3,4} | {5,6,7,0}.
+  const TorusTopology ring({8});
+  FaultModel faults(ring.graph());
+  faults.kill_cable(ring.graph().find_link(0, 1));
+  faults.kill_cable(ring.graph().find_link(4, 5));
+  const FaultAwareRouter router(ring, faults);
+  EXPECT_EQ(router.num_surviving_components(), 2u);
+  EXPECT_TRUE(router.reachable(1, 4));
+  EXPECT_TRUE(router.reachable(5, 0));
+  EXPECT_FALSE(router.reachable(0, 1));
+  EXPECT_FALSE(router.reachable(3, 7));
+  // 2 * 4 * 4 ordered cross-partition pairs.
+  EXPECT_EQ(router.stranded_endpoint_pairs(), 32u);
+
+  FlowEngine engine(router);
+  faults.apply(engine);
+  TrafficProgram program;
+  program.add_flow(0, 3, kBps);  // cross partition: stranded
+  program.add_flow(1, 4, kBps);  // inside {1..4}: completes
+  program.add_flow(5, 0, kBps);  // inside {5..0}: completes
+  const SimResult result = engine.run(program);
+  EXPECT_EQ(result.stranded_flows, 1u);
+  EXPECT_EQ(result.num_flows, 3u);
+  EXPECT_NEAR(result.makespan, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(result.undelivered_bytes, kBps);
+}
+
+TEST(Resilience, StrandedFlowCancelsDependentPhases) {
+  const TorusTopology ring({8});
+  FaultModel faults(ring.graph());
+  faults.kill_node(1);
+  const FaultAwareRouter router(ring, faults);
+
+  EngineOptions options;
+  options.record_flow_times = true;
+  FlowEngine recording(router, options);
+  faults.apply(recording);
+
+  TrafficProgram program;
+  const FlowIndex a = program.add_flow(0, 1, kBps);  // stranded
+  const FlowIndex d = program.add_flow(5, 6, kBps);  // independent, runs
+  const FlowIndex phase1[] = {a};
+  const FlowIndex barrier = program.add_barrier(phase1, {});
+  const FlowIndex b = program.add_flow(2, 3, kBps);  // phase 2: cancelled
+  program.add_dependency(barrier, b);
+  const FlowIndex c = program.add_flow(3, 4, kBps);  // phase 3: cancelled
+  program.add_dependency(b, c);
+
+  const SimResult result = recording.run(program);
+  EXPECT_EQ(result.stranded_flows, 1u);
+  EXPECT_EQ(result.cancelled_flows, 2u);  // b and c; the sync isn't counted
+  EXPECT_EQ(result.rerouted_flows, 0u);
+  EXPECT_NEAR(result.makespan, 1.0, 1e-9);  // d still runs to completion
+  EXPECT_DOUBLE_EQ(result.undelivered_bytes, 3.0 * kBps);
+  EXPECT_DOUBLE_EQ(result.delivered_bytes(), kBps);
+  ASSERT_EQ(result.flow_finish_times.size(), program.num_flows());
+  EXPECT_TRUE(std::isnan(result.flow_finish_times[a]));
+  EXPECT_TRUE(std::isnan(result.flow_finish_times[b]));
+  EXPECT_TRUE(std::isnan(result.flow_finish_times[c]));
+  EXPECT_NEAR(result.flow_finish_times[d], 1.0, 1e-9);
+}
+
+TEST(Resilience, EngineStrandsRateZeroFlowsWithoutRouter) {
+  // A dead link injected directly into the engine (no fault-aware wrapper):
+  // the flow routes over it, the solver gives it rate 0, and the engine
+  // strands it instead of spinning on a non-finite event horizon.
+  const TorusTopology ring({8});
+  FlowEngine engine(ring);
+  const LinkId forward = ring.graph().find_link(2, 3);
+  engine.set_capacity_factor(forward, 0.0);
+  engine.set_capacity_factor(ring.graph().link(forward).reverse, 0.0);
+
+  TrafficProgram program;
+  program.add_flow(2, 3, kBps);  // DOR pinned to the dead cable
+  program.add_flow(5, 6, kBps);  // healthy
+  const SimResult result = engine.run(program);
+  EXPECT_EQ(result.stranded_flows, 1u);
+  EXPECT_EQ(result.rerouted_flows, 0u);
+  EXPECT_NEAR(result.makespan, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(result.undelivered_bytes, kBps);
+
+  // The engine stays reusable after a degraded run.
+  engine.reset_capacity_factors();
+  const SimResult healthy = engine.run(program);
+  EXPECT_EQ(healthy.stranded_flows, 0u);
+  EXPECT_DOUBLE_EQ(healthy.undelivered_bytes, 0.0);
+}
+
+TEST(Resilience, EmptyFaultSetIsBitIdentical) {
+  // The wrapper with no faults must add no routing changes: same makespan,
+  // same event count, bit for bit.
+  const auto tree = make_reference_fattree(64);
+  const FaultModel no_faults(tree->graph());
+  ASSERT_TRUE(no_faults.empty());
+  const FaultAwareRouter router(*tree, no_faults);
+  EXPECT_EQ(router.name(), tree->name());
+
+  const auto workload = make_workload("unstructured-app");
+  WorkloadContext context;
+  context.num_tasks = 64;
+  context.seed = 7;
+  const auto program = workload->generate(context);
+
+  FlowEngine raw(*tree);
+  FlowEngine wrapped(router);
+  const SimResult a = raw.run(program);
+  const SimResult b = wrapped.run(program);
+  EXPECT_EQ(a.makespan, b.makespan);  // exact, not approximate
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.solver_rounds, b.solver_rounds);
+  EXPECT_EQ(b.stranded_flows, 0u);
+  EXPECT_EQ(b.rerouted_flows, 0u);
+}
+
+TEST(Resilience, FaultModelValidatesInputs) {
+  const TorusTopology ring({8});
+  FaultModel faults(ring.graph());
+  EXPECT_THROW(faults.kill_cable(ring.graph().injection_link(0)),
+               std::invalid_argument);
+  EXPECT_THROW(faults.kill_cable(999999), std::out_of_range);
+  EXPECT_THROW(faults.kill_node(999999), std::out_of_range);
+  EXPECT_THROW(faults.degrade_cable(0, 0.0), std::invalid_argument);
+  EXPECT_THROW(faults.degrade_cable(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(faults.degrade_cable(0, -1.0), std::invalid_argument);
+  EXPECT_THROW(FaultModel::random_cable_faults(ring.graph(), -0.1, 1),
+               std::invalid_argument);
+  EXPECT_THROW(FaultModel::random_cable_faults(ring.graph(), 1.5, 1),
+               std::invalid_argument);
+
+  // Idempotence: killing twice counts once.
+  faults.kill_cable(ring.graph().find_link(0, 1));
+  faults.kill_cable(ring.graph().link(ring.graph().find_link(0, 1)).reverse);
+  EXPECT_EQ(faults.num_dead_cables(), 1u);
+  faults.kill_node(4);
+  faults.kill_node(4);
+  EXPECT_EQ(faults.num_dead_nodes(), 1u);
+}
+
+TEST(Resilience, EveryTopologyRunsAllWorkloadsUnderFivePercentKill) {
+  // Acceptance sweep: 5% of cables dead; every factory topology must run
+  // every workload to completion with consistent accounting — no crash, no
+  // hang, reroutes observed.
+  const std::vector<std::string> specs = {
+      "torus:4x4x4",    "fattree:8,8",     "thintree:4,2,3",
+      "nesttree:64,2,2", "nestghc:64,2,2", "dragonfly:2,4,2",
+      "jellyfish:32,2,4,7"};
+  EngineOptions options;
+  options.rate_quantum_rel = 0.01;
+  options.max_events = 2'000'000;  // a hang shows up as a throw, not a stall
+
+  for (const auto& spec : specs) {
+    const auto topology = make_topology(spec);
+    const auto faults =
+        FaultModel::random_cable_faults(topology->graph(), 0.05, 42);
+    ASSERT_GT(faults.num_dead_cables(), 0u) << spec;
+    const FaultAwareRouter router(*topology, faults);
+
+    std::uint32_t tasks = 1;
+    while (tasks * 2 <= topology->num_endpoints()) tasks *= 2;
+
+    std::uint64_t total_rerouted = 0;
+    for (const auto& name : all_workload_names()) {
+      WorkloadContext context;
+      context.num_tasks = tasks;
+      context.seed = 42;
+      const auto program = make_workload(name)->generate(context);
+
+      FlowEngine engine(router, options);
+      faults.apply(engine);
+      SimResult result;
+      ASSERT_NO_THROW(result = engine.run(program))
+          << spec << " / " << name;
+      EXPECT_TRUE(std::isfinite(result.makespan)) << spec << " / " << name;
+      EXPECT_LE(result.stranded_flows + result.cancelled_flows,
+                result.num_flows)
+          << spec << " / " << name;
+      EXPECT_GE(result.delivered_bytes(), 0.0) << spec << " / " << name;
+      EXPECT_LE(result.undelivered_bytes, result.total_bytes + 1e-6)
+          << spec << " / " << name;
+      if (result.stranded_flows == 0 && result.cancelled_flows == 0) {
+        EXPECT_DOUBLE_EQ(result.undelivered_bytes, 0.0)
+            << spec << " / " << name;
+      }
+      total_rerouted += result.rerouted_flows;
+    }
+    EXPECT_GT(total_rerouted, 0u) << spec;
+  }
 }
 
 }  // namespace
