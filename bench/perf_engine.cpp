@@ -1,0 +1,267 @@
+// Reproducible engine-performance harness (BENCH_engine.json).
+//
+// Times the flow engine on (workload x matrix-point) cells at a given
+// machine size, in two configurations over identical deterministic routing
+// (adaptive routing off so both modes execute the same paths):
+//
+//   optimized: incremental_solver + route_cache + solve_cache on (defaults)
+//   baseline:  all three off — full re-solve and re-route at every event,
+//              the pre-optimization behaviour
+//
+// Each cell keeps ONE engine per mode and times two regimes on it:
+//
+//   cold:   the first-ever run (empty caches, first-touch allocations) —
+//           what a one-shot simulation pays;
+//   steady: best of --repeat further runs of the same program — what the
+//           repo's sweep and ablation drivers pay, since they re-run
+//           programs on persistent engines and the route/solve caches
+//           survive across run() calls.
+//
+// The headline speedup is steady-vs-steady: full-machine design sweeps are
+// the workload this PR targets, and they operate in the steady regime. The
+// JSON also records cold numbers so the one-shot cost stays tracked.
+//
+// Every cell cross-checks bit-identity three ways (baseline vs optimized,
+// and cold vs steady within each mode) on makespan/events/total_bytes — a
+// free A/B of the bit-identity contract — and the binary exits non-zero on
+// any mismatch or when --min-speedup is not met. See EXPERIMENTS.md for
+// the schema and scripts/run_bench.sh for the canonical invocation.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/prng.hpp"
+#include "workloads/factory.hpp"
+
+namespace {
+
+using namespace nestflow;
+
+struct ModeStats {
+  double cold_wall_seconds = 0.0;
+  double steady_wall_seconds = 0.0;
+  SimResult result;  // steady-regime result (== cold when self_consistent)
+  bool self_consistent = true;  // cold and steady runs agreed bit-for-bit
+};
+
+// Point tokens keep the CLI comma-list friendly: "fattree", "torus3d",
+// "nestghc-t2-u4", "nesttree-t4-u2".
+TopologyPoint parse_point_token(const std::string& token) {
+  if (token == "fattree") return TopologyPoint{"Fattree", 0, 0, std::nullopt};
+  if (token == "torus3d") return TopologyPoint{"Torus3D", 0, 0, std::nullopt};
+  const auto parse_nested = [&](std::string_view prefix, std::string label,
+                                UpperTierKind upper)
+      -> std::optional<TopologyPoint> {
+    if (token.rfind(prefix, 0) != 0) return std::nullopt;
+    std::uint32_t t = 0, u = 0;
+    if (std::sscanf(token.c_str() + prefix.size(), "t%u-u%u", &t, &u) != 2 ||
+        t == 0 || u == 0) {
+      throw std::invalid_argument("bad point token: " + token);
+    }
+    return TopologyPoint{std::move(label), t, u, upper};
+  };
+  if (auto p = parse_nested("nestghc-", "NestGHC", UpperTierKind::kGhc)) {
+    return *p;
+  }
+  if (auto p = parse_nested("nesttree-", "NestTree", UpperTierKind::kFattree)) {
+    return *p;
+  }
+  throw std::invalid_argument(
+      "bad point token: " + token +
+      " (expected fattree, torus3d, nestghc-tT-uU or nesttree-tT-uU)");
+}
+
+double time_run(FlowEngine& engine, const TrafficProgram& program,
+                SimResult& result) {
+  const auto t0 = std::chrono::steady_clock::now();
+  result = engine.run(program);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool same_result(const SimResult& a, const SimResult& b) {
+  return a.makespan == b.makespan && a.events == b.events &&
+         a.total_bytes == b.total_bytes;
+}
+
+ModeStats run_mode(const Topology& topology, const TrafficProgram& program,
+                   bool optimized, std::uint32_t repeat, double latency) {
+  EngineOptions options;
+  options.adaptive_routing = false;  // identical deterministic paths
+  options.time_solver = true;
+  options.hop_latency_seconds = latency;
+  options.incremental_solver = optimized;
+  options.route_cache = optimized;
+  options.solve_cache = optimized;
+
+  FlowEngine engine(topology, options);
+  ModeStats stats;
+  SimResult cold;
+  stats.cold_wall_seconds = time_run(engine, program, cold);
+  stats.result = cold;
+  stats.steady_wall_seconds = stats.cold_wall_seconds;
+  for (std::uint32_t r = 0; r < repeat; ++r) {
+    SimResult steady;
+    const double wall = time_run(engine, program, steady);
+    if (!same_result(cold, steady)) stats.self_consistent = false;
+    if (r == 0 || wall < stats.steady_wall_seconds) {
+      stats.steady_wall_seconds = wall;
+      stats.result = std::move(steady);
+    }
+  }
+  return stats;
+}
+
+double rate(std::uint64_t hits, std::uint64_t misses) {
+  const double lookups = static_cast<double>(hits + misses);
+  return lookups > 0.0 ? static_cast<double>(hits) / lookups : 0.0;
+}
+
+void emit_mode(std::ostream& out, const char* name, const ModeStats& stats) {
+  const auto& r = stats.result;
+  const double events = static_cast<double>(r.events);
+  out << "      \"" << name << "\": {"
+      << "\"cold_wall_seconds\": " << stats.cold_wall_seconds
+      << ", \"steady_wall_seconds\": " << stats.steady_wall_seconds
+      << ", \"events\": " << r.events
+      << ", \"events_per_sec\": "
+      << (stats.steady_wall_seconds > 0.0 ? events / stats.steady_wall_seconds
+                                          : 0.0)
+      << ", \"solve_us_per_event\": "
+      << (r.events > 0 ? 1e6 * r.solve_seconds / events : 0.0)
+      << ", \"solver_rounds\": " << r.solver_rounds
+      << ", \"route_cache_hit_rate\": "
+      << rate(r.route_cache_hits, r.route_cache_misses)
+      << ", \"solve_cache_hit_rate\": "
+      << rate(r.solve_cache_hits, r.solve_cache_misses)
+      << ", \"makespan\": " << r.makespan << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("perf_engine",
+                "Times the flow engine (incremental solver + route cache + "
+                "solve cache vs full re-solve) over workload x topology "
+                "cells and writes BENCH_engine.json.");
+  cli.add_option("nodes", "machine size (endpoints = tasks)", "4096");
+  cli.add_option("workloads",
+                 "comma list of workload specs (default: all eleven)", "");
+  cli.add_option("points",
+                 "comma list of matrix points: fattree, torus3d, "
+                 "nestghc-tT-uU, nesttree-tT-uU",
+                 "nestghc-t2-u4,fattree");
+  cli.add_option("repeat", "steady-regime runs per cell; best is kept", "3");
+  cli.add_option("seed", "workload stream seed", "42");
+  cli.add_option("latency", "per-hop latency in seconds", "1e-6");
+  cli.add_option("min-speedup",
+                 "fail (exit 1) when any cell's steady speedup is below this",
+                 "0");
+  cli.add_option("out", "output JSON path", "BENCH_engine.json");
+  if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+
+  const auto nodes = cli.get_uint("nodes");
+  const auto repeat = static_cast<std::uint32_t>(cli.get_uint("repeat"));
+  const auto seed = cli.get_uint("seed");
+  const double latency = cli.get_double("latency");
+  const double min_speedup = cli.get_double("min-speedup");
+  std::vector<std::string> workloads = cli.get_string_list("workloads");
+  if (workloads.empty()) workloads = all_workload_names();
+
+  std::vector<TopologyPoint> points;
+  for (const auto& token : cli.get_string_list("points")) {
+    points.push_back(parse_point_token(token));
+  }
+
+  bool ok = true;
+  std::ofstream out(cli.get_string("out"));
+  out.precision(12);
+  out << "{\n  \"schema\": \"nestflow-bench-engine-v2\",\n"
+      << "  \"nodes\": " << nodes << ",\n  \"repeat\": " << repeat
+      << ",\n  \"seed\": " << seed << ",\n  \"hop_latency_seconds\": "
+      << latency << ",\n  \"cells\": [\n";
+
+  bool first_cell = true;
+  for (const auto& point : points) {
+    std::unique_ptr<Topology> topology;
+    try {
+      topology = build_point(point, nodes);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "skipping " << point.config_name() << " at N=" << nodes
+                << ": " << e.what() << "\n";
+      continue;
+    }
+    for (const auto& spec : workloads) {
+      const auto workload = make_workload(spec);
+      WorkloadContext context;
+      context.num_tasks = static_cast<std::uint32_t>(nodes);
+      context.seed = hash_combine(seed, std::hash<std::string>{}(spec));
+      const TrafficProgram program = workload->generate(context);
+
+      const ModeStats baseline =
+          run_mode(*topology, program, false, repeat, latency);
+      const ModeStats optimized =
+          run_mode(*topology, program, true, repeat, latency);
+
+      const bool identical = same_result(baseline.result, optimized.result) &&
+                             baseline.self_consistent &&
+                             optimized.self_consistent;
+      const double speedup =
+          optimized.steady_wall_seconds > 0.0
+              ? baseline.steady_wall_seconds / optimized.steady_wall_seconds
+              : 0.0;
+      const double cold_speedup =
+          optimized.cold_wall_seconds > 0.0
+              ? baseline.cold_wall_seconds / optimized.cold_wall_seconds
+              : 0.0;
+      if (!identical) {
+        std::cerr << "A/B MISMATCH on " << spec << " @ "
+                  << point.config_name() << ": baseline makespan "
+                  << baseline.result.makespan << " events "
+                  << baseline.result.events << " (self-consistent "
+                  << baseline.self_consistent << ") vs optimized "
+                  << optimized.result.makespan << " / "
+                  << optimized.result.events << " (self-consistent "
+                  << optimized.self_consistent << ")\n";
+        ok = false;
+      }
+      if (min_speedup > 0.0 && speedup < min_speedup) {
+        std::cerr << "SPEEDUP BELOW TARGET on " << spec << " @ "
+                  << point.config_name() << ": " << speedup << " < "
+                  << min_speedup << "\n";
+        ok = false;
+      }
+
+      if (!first_cell) out << ",\n";
+      first_cell = false;
+      out << "    {\n      \"point\": \"" << point.config_name()
+          << "\",\n      \"workload\": \"" << spec << "\",\n";
+      emit_mode(out, "baseline", baseline);
+      out << ",\n";
+      emit_mode(out, "optimized", optimized);
+      out << ",\n      \"speedup\": " << speedup
+          << ",\n      \"cold_speedup\": " << cold_speedup
+          << ",\n      \"identical\": " << (identical ? "true" : "false")
+          << "\n    }";
+
+      std::cout << point.config_name() << " x " << spec << ": steady "
+                << baseline.steady_wall_seconds << " s -> "
+                << optimized.steady_wall_seconds << " s, speedup " << speedup
+                << "x (cold " << cold_speedup << "x), route-hit "
+                << rate(optimized.result.route_cache_hits,
+                        optimized.result.route_cache_misses)
+                << ", solve-hit "
+                << rate(optimized.result.solve_cache_hits,
+                        optimized.result.solve_cache_misses)
+                << "\n";
+    }
+  }
+  out << "\n  ]\n}\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_engine.json: the tracked engine-performance trajectory.
+#
+# Usage:
+#   scripts/run_bench.sh              # full sweep + the >=2x gating pass
+#   scripts/run_bench.sh --nodes 1024 # extra args go to the full sweep only
+#
+# Builds the `release` preset (-O3 -DNDEBUG + LTO; see CMakePresets.json)
+# and runs bench/perf_engine twice:
+#   1. the full eleven-workload sweep over the default matrix points at
+#      N=1024 (the paper's figure scale; the heavy workloads are
+#      prohibitively slow to BASELINE-solve at 4096), which writes
+#      BENCH_engine.json at the repo root;
+#   2. a gating pass on the issue's acceptance cells — Sweep3D and Stencil
+#      (nearneighbors) at N=4096 — with --min-speedup 2, so a perf
+#      regression below 2x steady-state fails this script.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="$repo_root/build-release"
+
+cmake --preset release -S "$repo_root"
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
+  --target perf_engine
+
+"$build_dir/bench/perf_engine" --nodes 1024 --repeat 2 \
+  --out "$repo_root/BENCH_engine.json" "$@"
+
+"$build_dir/bench/perf_engine" \
+  --workloads sweep3d,nearneighbors \
+  --nodes 4096 \
+  --min-speedup 2 \
+  --out "$repo_root/BENCH_engine_gate.json"
+echo "wrote $repo_root/BENCH_engine.json (gate: BENCH_engine_gate.json)"

@@ -131,6 +131,22 @@ std::vector<SimulationCell> run_simulation_sweep(
   ThreadPool pool(config.threads);
   std::mutex log_mutex;
 
+  // Build each topology point once and share it read-only across that
+  // point's workload cells: topologies are immutable after construction
+  // (route() is const and thread-safe), and at full machine sizes the graph
+  // build dominates a light workload's simulation time. A nullptr marks a
+  // point that cannot be instantiated at this machine size.
+  std::vector<std::unique_ptr<const Topology>> topologies(points.size());
+  pool.parallel_for(points.size(), [&](std::size_t p) {
+    try {
+      topologies[p] = build_point(points[p], config.num_nodes);
+    } catch (const std::invalid_argument& e) {
+      std::lock_guard lock(log_mutex);
+      log_warn("skipping ", points[p].config_name(),
+               " at N=", config.num_nodes, ": ", e.what());
+    }
+  });
+
   pool.parallel_for(jobs.size(), [&](std::size_t i) {
     const auto& job = jobs[i];
     const auto& point = points[job.point_index];
@@ -138,14 +154,9 @@ std::vector<SimulationCell> run_simulation_sweep(
 
     cells[i].point = point;
     cells[i].workload = workload_name;
-    std::unique_ptr<Topology> topology;
-    try {
-      topology = build_point(point, config.num_nodes);
-    } catch (const std::invalid_argument& e) {
+    const Topology* topology = topologies[job.point_index].get();
+    if (topology == nullptr) {
       cells[i].valid = false;
-      std::lock_guard lock(log_mutex);
-      log_warn("skipping ", point.config_name(), " at N=", config.num_nodes,
-               ": ", e.what());
       return;
     }
     const auto workload = make_workload(workload_name);

@@ -102,8 +102,9 @@ struct SimulationSweepConfig {
   bool verbose = false;  // log each finished cell
 };
 
-/// Simulates every workload on every matrix point. Cells are independent
-/// and run on a thread pool; each builds its own topology instance.
+/// Simulates every workload on every matrix point. Each topology point is
+/// built once (in parallel) and shared read-only by every workload cell at
+/// that point; the independent cells then run on a thread pool.
 [[nodiscard]] std::vector<SimulationCell> run_simulation_sweep(
     const SimulationSweepConfig& config);
 

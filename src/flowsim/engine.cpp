@@ -1,7 +1,9 @@
 #include "flowsim/engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -9,7 +11,10 @@
 namespace nestflow {
 
 FlowEngine::FlowEngine(const Topology& topology, EngineOptions options)
-    : topology_(topology), options_(options) {
+    : topology_(topology),
+      options_(options),
+      route_cache_active_(options.route_cache && !options.adaptive_routing &&
+                          topology.routes_are_static()) {
   // Floor the batching window at a couple of ulps so the flow that defines
   // dt always passes its own completion test despite rounding.
   options_.completion_batch_rel =
@@ -28,6 +33,8 @@ FlowEngine::FlowEngine(const Topology& topology, EngineOptions options)
   link_dead_count_.assign(num_links, 0);
   link_in_used_.assign(num_links, 0);
   link_bytes_.assign(num_links, 0.0);
+  link_dirty_.assign(num_links, 0);
+  link_in_component_.assign(num_links, 0);
 }
 
 void FlowEngine::set_capacity_factor(LinkId link, double factor) {
@@ -47,43 +54,88 @@ void FlowEngine::set_capacity_factor(LinkId link, double factor) {
         "nominal capacity)");
   }
   link_capacity_[link] = link_base_capacity_[link] * factor;
+  drop_solve_cache();
 }
 
 void FlowEngine::reset_capacity_factors() {
   link_capacity_ = link_base_capacity_;
+  drop_solve_cache();
+}
+
+void FlowEngine::drop_solve_cache() {
+  // Correctness never needs this — every key embeds the capacity bits of
+  // its links, so entries recorded under other capacities simply stop
+  // matching — but fault sweeps that keep flipping factors would otherwise
+  // accumulate unmatchable entries until the size cap bites.
+  solve_cache_map_.clear();
+  solve_cache_entries_.clear();
+  solve_key_arena_.clear();
+  solve_rates_arena_.clear();
+  solve_insert_armed_ = false;
 }
 
 bool FlowEngine::activate(FlowIndex f, SimResult& result) {
   const FlowSpec& spec = program_->flow(f);
   const Graph& graph = topology_.graph();
 
-  route_scratch_.clear();
-  const RouteOutcome outcome = topology_.try_route(
-      spec.src, spec.dst, route_scratch_,
-      LinkLoads(link_active_count_, link_capacity_),
-      options_.adaptive_routing);
-  if (outcome.status == RouteStatus::kStranded) return false;
-  if (outcome.status == RouteStatus::kRerouted) {
-    ++result.rerouted_flows;
-    result.reroute_extra_hops += outcome.extra_hops;
-  }
-
-  // Full resource path: injection NIC, transit links, consumption NIC.
-  const auto len =
-      static_cast<std::uint32_t>(route_scratch_.links.size() + 2);
   std::uint32_t offset;
-  if (len < free_paths_by_length_.size() &&
-      !free_paths_by_length_[len].empty()) {
-    offset = free_paths_by_length_[len].back();
-    free_paths_by_length_[len].pop_back();
+  std::uint32_t len;
+  const std::uint64_t pair_key =
+      (static_cast<std::uint64_t>(spec.src) << 32) | spec.dst;
+  const auto cached = route_cache_active_ ? route_cache_.find(pair_key)
+                                          : route_cache_.end();
+  if (cached != route_cache_.end()) {
+    // Memoized full resource path (the NIC links are themselves functions
+    // of (src, dst)): share the cached extent instead of routing + copying.
+    ++result.route_cache_hits;
+    offset = cached->second.offset;
+    len = cached->second.length;
+    path_shared_[f] = 1;
   } else {
-    offset = static_cast<std::uint32_t>(path_arena_.size());
-    path_arena_.resize(path_arena_.size() + len);
+    route_scratch_.clear();
+    const RouteOutcome outcome = topology_.try_route(
+        spec.src, spec.dst, route_scratch_,
+        LinkLoads(link_active_count_, link_capacity_),
+        options_.adaptive_routing);
+    if (outcome.status == RouteStatus::kStranded) return false;
+    if (outcome.status == RouteStatus::kRerouted) {
+      ++result.rerouted_flows;
+      result.reroute_extra_hops += outcome.extra_hops;
+    }
+
+    // Full resource path: injection NIC, transit links, consumption NIC.
+    len = static_cast<std::uint32_t>(route_scratch_.links.size() + 2);
+    if (route_cache_active_) ++result.route_cache_misses;
+    const bool cache_owned =
+        route_cache_active_ && route_cache_.size() < kMaxCachedRoutes;
+    LinkId* dst;
+    if (cache_owned) {
+      // The cache takes ownership of the extent: it lives in the persistent
+      // shared arena (never recycled, survives run() calls) so the
+      // (offset, length) pair is a stable identity for this pair's path —
+      // which is what the solve cache keys flows by.
+      offset = static_cast<std::uint32_t>(shared_arena_.size());
+      shared_arena_.resize(shared_arena_.size() + len);
+      dst = shared_arena_.data() + offset;
+      route_cache_.emplace(pair_key, RouteCacheEntry{offset, len});
+      path_shared_[f] = 1;
+    } else {
+      if (len < free_paths_by_length_.size() &&
+          !free_paths_by_length_[len].empty()) {
+        offset = free_paths_by_length_[len].back();
+        free_paths_by_length_[len].pop_back();
+      } else {
+        offset = static_cast<std::uint32_t>(path_arena_.size());
+        path_arena_.resize(path_arena_.size() + len);
+      }
+      dst = path_arena_.data() + offset;
+      path_shared_[f] = 0;
+    }
+    dst[0] = graph.injection_link(spec.src);
+    std::copy(route_scratch_.links.begin(), route_scratch_.links.end(),
+              dst + 1);
+    dst[len - 1] = graph.consumption_link(spec.dst);
   }
-  path_arena_[offset] = graph.injection_link(spec.src);
-  std::copy(route_scratch_.links.begin(), route_scratch_.links.end(),
-            path_arena_.begin() + offset + 1);
-  path_arena_[offset + len - 1] = graph.consumption_link(spec.dst);
 
   path_offset_[f] = offset;
   path_length_[f] = len;
@@ -99,6 +151,7 @@ bool FlowEngine::activate(FlowIndex f, SimResult& result) {
   for (const LinkId l : path_view(f)) {
     link_flows_[l].push_back(f);
     link_weight_sum_[l] += spec.weight;
+    if (incremental_) mark_dirty(l);
     if (link_active_count_[l]++ == 0 && !link_in_used_[l]) {
       link_in_used_[l] = 1;
       used_links_.push_back(l);
@@ -121,18 +174,14 @@ void FlowEngine::complete(FlowIndex f, double now,
     // Zero exactly when the link empties so weight dust never accumulates.
     link_weight_sum_[l] =
         link_active_count_[l] == 0 ? 0.0 : link_weight_sum_[l] - weight;
+    if (incremental_) mark_dirty(l);
     ++link_dead_count_[l];
     if (link_dead_count_[l] > link_flows_[l].size() / 2 &&
         link_dead_count_[l] > 8) {
       compact_link(l);
     }
   }
-  // Recycle the path extent.
-  const auto len = path_length_[f];
-  if (len >= free_paths_by_length_.size()) {
-    free_paths_by_length_.resize(len + 1);
-  }
-  free_paths_by_length_[len].push_back(path_offset_[f]);
+  recycle_path(f);
 
   if (!flow_finish_times_scratch_.empty()) {
     flow_finish_times_scratch_[f] = now;
@@ -166,14 +215,143 @@ void FlowEngine::strand_active(FlowIndex f, SimResult& result) {
     --link_active_count_[l];
     link_weight_sum_[l] =
         link_active_count_[l] == 0 ? 0.0 : link_weight_sum_[l] - weight;
+    if (incremental_) mark_dirty(l);
     ++link_dead_count_[l];
   }
+  recycle_path(f);
+  strand(f, result);
+}
+
+void FlowEngine::recycle_path(FlowIndex f) {
+  // Cache-owned extents are shared across flows and live for the whole run.
+  if (path_shared_[f]) return;
   const auto len = path_length_[f];
   if (len >= free_paths_by_length_.size()) {
     free_paths_by_length_.resize(len + 1);
   }
   free_paths_by_length_[len].push_back(path_offset_[f]);
-  strand(f, result);
+}
+
+void FlowEngine::collect_dirty_components() {
+  // Seed with the dirty links that still carry active flows; a drained
+  // dirty link contributes nothing itself, but each link of a completed
+  // flow's path was marked dirty individually, so every component the
+  // completion touched is reached through its surviving links.
+  affected_links_.clear();
+  affected_flows_.clear();
+  for (const LinkId seed : dirty_links_) {
+    link_dirty_[seed] = 0;
+    if (link_active_count_[seed] != 0 && !link_in_component_[seed]) {
+      link_in_component_[seed] = 1;
+      affected_links_.push_back(seed);
+    }
+  }
+  dirty_links_.clear();
+
+  // BFS over the bipartite flow-link incidence; affected_links_ doubles as
+  // the frontier queue. The result is a union of *complete* connected
+  // components: any flow sharing a link with an affected flow is affected,
+  // which is exactly the closure that makes a sub-solve exact (rates of a
+  // component depend on nothing outside it).
+  for (std::size_t scan = 0; scan < affected_links_.size(); ++scan) {
+    for (const FlowIndex g : link_flows_[affected_links_[scan]]) {
+      if (state_[g] != FlowState::kActive || flow_in_component_[g]) continue;
+      flow_in_component_[g] = 1;
+      affected_flows_.push_back(g);
+      for (const LinkId l : path_view(g)) {
+        if (!link_in_component_[l]) {
+          link_in_component_[l] = 1;
+          affected_links_.push_back(l);
+        }
+      }
+    }
+  }
+  for (const LinkId l : affected_links_) link_in_component_[l] = 0;
+  for (const FlowIndex g : affected_flows_) flow_in_component_[g] = 0;
+}
+
+bool FlowEngine::try_cached_solve(SimResult& result) {
+  solve_insert_armed_ = false;
+  // The key identifies flows by their shared (route-cache-owned) arena
+  // extents; a free-listed extent's offset means nothing across events, so
+  // any unshared path in the component forfeits memoization for this event.
+  for (const FlowIndex f : affected_flows_) {
+    if (!path_shared_[f]) return false;
+  }
+
+  // Content blob in BFS-discovery order, deliberately NOT canonicalised:
+  // with uniform weights a flow's rate is a pure function of (its extent,
+  // the component's content multiset) — equal-extent flows are bit-exactly
+  // interchangeable in the solver — so position i of the blob determines
+  // position i's rate no matter how the component was enumerated. Sorting
+  // would dedup permutations of one component into one entry, but costs an
+  // O(n log n) sort per event that profiling showed dominates the hit path;
+  // the steady regime re-enumerates components in an identical order anyway
+  // (the whole engine is deterministic), so permuted duplicates are rare
+  // and the size cap absorbs them.
+  solve_key_.clear();
+  solve_key_.reserve(1 + 3 * affected_links_.size() + affected_flows_.size());
+  // FNV-1a picks the bucket; correctness rests on the full-content
+  // comparison below, never on the hash.
+  std::uint64_t hash = 14695981039346656037ull;
+  const auto push = [this, &hash](std::uint64_t word) {
+    solve_key_.push_back(word);
+    hash ^= word;
+    hash *= 1099511628211ull;
+  };
+  push((static_cast<std::uint64_t>(affected_links_.size()) << 32) |
+       affected_flows_.size());
+  for (const LinkId l : affected_links_) {
+    push(l);
+    push(std::bit_cast<std::uint64_t>(link_capacity_[l]));
+    push(std::bit_cast<std::uint64_t>(link_weight_sum_[l]));
+  }
+  for (const FlowIndex f : affected_flows_) {
+    push((static_cast<std::uint64_t>(path_offset_[f]) << 32) |
+         path_length_[f]);
+  }
+  solve_key_hash_ = hash;
+
+  if (const auto it = solve_cache_map_.find(hash);
+      it != solve_cache_map_.end()) {
+    for (const std::uint32_t index : it->second) {
+      const SolveCacheEntry& entry = solve_cache_entries_[index];
+      if (entry.key_words != solve_key_.size() ||
+          !std::equal(solve_key_.begin(), solve_key_.end(),
+                      solve_key_arena_.begin() +
+                          static_cast<std::ptrdiff_t>(entry.key_offset))) {
+        continue;
+      }
+      const double* memo = solve_rates_arena_.data() + entry.rates_offset;
+      for (std::size_t i = 0; i < affected_flows_.size(); ++i) {
+        rates_[affected_flows_[i]] = memo[i];
+      }
+      ++result.solve_cache_hits;
+      return true;
+    }
+  }
+  ++result.solve_cache_misses;
+  solve_insert_armed_ =
+      solve_key_arena_.size() + solve_key_.size() +
+          solve_rates_arena_.size() + affected_flows_.size() <=
+      kMaxSolveCacheWords;
+  return false;
+}
+
+void FlowEngine::solve_cache_insert() {
+  solve_insert_armed_ = false;
+  SolveCacheEntry entry;
+  entry.key_offset = solve_key_arena_.size();
+  entry.key_words = static_cast<std::uint32_t>(solve_key_.size());
+  entry.rates_offset = static_cast<std::uint32_t>(solve_rates_arena_.size());
+  solve_key_arena_.insert(solve_key_arena_.end(), solve_key_.begin(),
+                          solve_key_.end());
+  for (const FlowIndex f : affected_flows_) {
+    solve_rates_arena_.push_back(rates_[f]);
+  }
+  solve_cache_map_[solve_key_hash_].push_back(
+      static_cast<std::uint32_t>(solve_cache_entries_.size()));
+  solve_cache_entries_.push_back(entry);
 }
 
 void FlowEngine::cancel_descendants(FlowIndex f, SimResult& result) {
@@ -219,8 +397,32 @@ SimResult FlowEngine::run(const TrafficProgram& program) {
   rates_.assign(n, 0.0);
   path_offset_.assign(n, 0);
   path_length_.assign(n, 0);
+  path_shared_.assign(n, 0);
   path_arena_.clear();
   free_paths_by_length_.clear();
+  // route_cache_ / shared_arena_ are deliberately NOT cleared: native routes
+  // on a static-route topology are pure functions of (src, dst), so repeated
+  // programs on one engine (sweep and ablation drivers, repeated phases)
+  // route straight from cache on every run after the first.
+  incremental_ = options_.incremental_solver;
+  solve_cache_active_ =
+      options_.solve_cache && incremental_ && route_cache_active_;
+  if (solve_cache_active_) {
+    // Equal-weight flows are bit-exactly exchangeable inside a solver
+    // freeze round (identical subtrahends commute in floating point);
+    // weighted ones are not, and memoized rates could then differ from a
+    // fresh solve. Keep the bit-identity contract by sitting out.
+    for (FlowIndex f = 0; f < n; ++f) {
+      if (program.flow(f).weight != 1.0) {
+        solve_cache_active_ = false;
+        break;
+      }
+    }
+  }
+  solve_insert_armed_ = false;
+  for (const LinkId l : dirty_links_) link_dirty_[l] = 0;
+  dirty_links_.clear();
+  flow_in_component_.assign(n, 0);
   active_flows_.clear();
   used_links_.clear();
   std::fill(link_bytes_.begin(), link_bytes_.end(), 0.0);
@@ -301,22 +503,54 @@ SimResult FlowEngine::run(const TrafficProgram& program) {
 
     if (active_flows_.empty()) break;
 
-    // Prune stale used-link entries so the solver only seeds live links.
-    std::erase_if(used_links_, [this](LinkId l) {
-      if (link_active_count_[l] > 0) return false;
-      link_in_used_[l] = 0;
-      return true;
-    });
+    std::chrono::steady_clock::time_point solve_start;
+    if (options_.time_solver) solve_start = std::chrono::steady_clock::now();
+    if (incremental_) {
+      // Re-solve only the connected components touched by an occupancy
+      // change; untouched components keep their frozen rates, which a full
+      // solve would reproduce bit-for-bit (max-min independence — see
+      // DESIGN.md "Performance model").
+      collect_dirty_components();
+      if (!affected_flows_.empty() &&
+          (!solve_cache_active_ || !try_cached_solve(result))) {
+        result.solver_rounds += solver_.solve(ctx, affected_links_,
+                                              link_weight_sum_,
+                                              affected_flows_, rates_);
+        // Memoize BEFORE quantisation: the quantiser below is a pure
+        // per-flow function, so replaying raw rates through it on a future
+        // hit lands on identical quantised values.
+        if (solve_insert_armed_) solve_cache_insert();
+      }
+    } else {
+      // Prune stale used-link entries so the solver only seeds live links.
+      std::erase_if(used_links_, [this](LinkId l) {
+        if (link_active_count_[l] > 0) return false;
+        link_in_used_[l] = 0;
+        return true;
+      });
 
-    result.solver_rounds += solver_.solve(ctx, used_links_,
-                                          link_weight_sum_, active_flows_,
-                                          rates_);
+      result.solver_rounds += solver_.solve(ctx, used_links_,
+                                            link_weight_sum_, active_flows_,
+                                            rates_);
+    }
+    if (options_.time_solver) {
+      result.solve_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        solve_start)
+              .count();
+    }
+    // Only freshly solved flows can have changed rate; untouched components
+    // keep both their (positive) rates and their quantised values, exactly
+    // as a full solve-and-requantise would recompute them.
+    const std::span<const FlowIndex> solved =
+        incremental_ ? std::span<const FlowIndex>(affected_flows_)
+                     : std::span<const FlowIndex>(active_flows_);
     // A rate of 0 means a dead (capacity-0) link sits on the flow's path —
     // it could never finish. Strand such flows and re-solve: graceful
     // degradation for callers that inject hard faults without a
     // fault-aware router.
     bool stranded_any = false;
-    for (const FlowIndex f : active_flows_) {
+    for (const FlowIndex f : solved) {
       if (rates_[f] <= 0.0 && remaining_[f] > 0.0) {
         strand_active(f, result);
         stranded_any = true;
@@ -330,7 +564,7 @@ SimResult FlowEngine::run(const TrafficProgram& program) {
     }
     if (options_.rate_quantum_rel > 0.0) {
       const double log_step = std::log1p(options_.rate_quantum_rel);
-      for (const FlowIndex f : active_flows_) {
+      for (const FlowIndex f : solved) {
         const double r = rates_[f];
         rates_[f] = std::exp(std::floor(std::log(r) / log_step) * log_step);
       }

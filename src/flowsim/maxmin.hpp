@@ -90,9 +90,15 @@ class FairShareSolver {
       // Fully frozen via other bottlenecks (floor absorbs FP dust).
       if (weight_sum_[l] <= kWeightEpsilon) continue;
       const double share = fair_share(l, ctx.capacity(l));
-      if (!heap_.empty() && share > heap_.front().share) {
-        // Stale key: the link's share grew past the next candidate's lower
-        // bound. Re-queue with the fresh value and look again.
+      if (!heap_.empty() && Entry{share, l} < heap_.front()) {
+        // Stale key: the link's fresh (share, id) priority dropped below the
+        // next candidate's lower bound. Re-queue with the fresh value and
+        // look again. Comparing full entries (share AND id, not share alone)
+        // makes the freeze sequence a pure function of the link/flow state —
+        // bottlenecks freeze in strict (share, id) order regardless of heap
+        // insertion order — which is what lets the incremental engine solve
+        // one connected component in isolation and get bit-identical rates
+        // to a whole-network solve (see engine.cpp).
         heap_.push_back(Entry{share, l});
         std::push_heap(heap_.begin(), heap_.end());
         continue;

@@ -54,6 +54,12 @@ class FaultAwareRouter final : public Topology {
   adversarial_pairs() const override {
     return inner_.adversarial_pairs();
   }
+  /// Never memoizable: try_route classifies pairs as rerouted/stranded and
+  /// the engine's reroute/strand accounting must see every activation, so
+  /// the engine-level route cache stays off even for an empty fault set.
+  [[nodiscard]] bool routes_are_static() const noexcept override {
+    return false;
+  }
 
   // --- Connectivity audit -------------------------------------------------
 

@@ -129,6 +129,20 @@ class Topology {
     return {};
   }
 
+  /// True when the deterministic routing function is a pure function of
+  /// (src, dst) for the lifetime of the object AND try_route always reports
+  /// kNative: the flow engine may then memoize route() results per endpoint
+  /// pair (see EngineOptions::route_cache). All concrete topologies in this
+  /// library qualify — their graphs and routing tables are immutable after
+  /// construction (Jellyfish's randomness is fixed at build time). Wrappers
+  /// whose answers depend on runtime state (FaultAwareRouter: reroutes,
+  /// stranding) must return false so resilience semantics are untouched.
+  /// Note the cache is only consulted when adaptive routing is off, so
+  /// load-dependent route_adaptive() overrides do not affect eligibility.
+  [[nodiscard]] virtual bool routes_are_static() const noexcept {
+    return true;
+  }
+
   /// Hop count of route(src, dst) without exposing the path buffer.
   [[nodiscard]] std::uint32_t route_length(std::uint32_t src,
                                            std::uint32_t dst) const;
