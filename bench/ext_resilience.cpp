@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
   cli.add_option("factor", "soft-sweep degraded-link capacity factor", "0.25");
   cli.add_option("seed", "workload/fault seed", "42");
   cli.add_option("csv", "degradation-curve CSV output path",
-                 "ext_resilience.csv");
+                 "build/artifacts/ext_resilience.csv");
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
   const auto nodes = static_cast<std::uint32_t>(cli.get_uint("nodes"));
   const double factor = cli.get_double("factor");

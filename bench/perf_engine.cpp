@@ -21,17 +21,30 @@
 // the workload this PR targets, and they operate in the steady regime. The
 // JSON also records cold numbers so the one-shot cost stays tracked.
 //
+// Schema v3 adds a thread-scaling section: --threads takes a comma list of
+// solver thread counts and re-times the optimized configuration at each,
+// asserting that every thread count reproduces the serial run's physical
+// metrics bit-for-bit (and that all multi-threaded runs agree on the cache
+// counters too — see EngineOptions::solver_threads for why threads=1 keeps
+// its own counter stream). --min-thread-speedup optionally gates the best
+// 4-thread-vs-serial steady speedup; it defaults to 0 (report-only) because
+// wall-clock scaling is a property of the host, not the code — see
+// scripts/run_bench.sh, which engages it only on multi-core machines.
+//
 // Every cell cross-checks bit-identity three ways (baseline vs optimized,
-// and cold vs steady within each mode) on makespan/events/total_bytes — a
+// and cold vs steady within each mode) on the full physical metric set — a
 // free A/B of the bit-identity contract — and the binary exits non-zero on
-// any mismatch or when --min-speedup is not met. See EXPERIMENTS.md for
-// the schema and scripts/run_bench.sh for the canonical invocation.
+// any mismatch or when a gate is not met. See EXPERIMENTS.md for the
+// schema and scripts/run_bench.sh for the canonical invocation.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -85,13 +98,35 @@ double time_run(FlowEngine& engine, const TrafficProgram& program,
       .count();
 }
 
-bool same_result(const SimResult& a, const SimResult& b) {
+/// Every metric a simulation *means*: what happened on the fabric. Two runs
+/// agreeing here are the same simulation, whatever machinery produced them.
+bool same_physical(const SimResult& a, const SimResult& b) {
   return a.makespan == b.makespan && a.events == b.events &&
-         a.total_bytes == b.total_bytes;
+         a.total_bytes == b.total_bytes && a.num_flows == b.num_flows &&
+         a.max_link_utilization == b.max_link_utilization &&
+         a.avg_active_flows == b.avg_active_flows &&
+         a.peak_active_flows == b.peak_active_flows &&
+         a.bytes_by_class == b.bytes_by_class &&
+         a.stranded_flows == b.stranded_flows &&
+         a.cancelled_flows == b.cancelled_flows &&
+         a.rerouted_flows == b.rerouted_flows &&
+         a.reroute_extra_hops == b.reroute_extra_hops &&
+         a.undelivered_bytes == b.undelivered_bytes;
+}
+
+/// same_physical plus the work counters — the full-determinism bar that all
+/// multi-threaded (solver_threads > 1) runs must clear against each other.
+bool same_full(const SimResult& a, const SimResult& b) {
+  return same_physical(a, b) && a.solver_rounds == b.solver_rounds &&
+         a.route_cache_hits == b.route_cache_hits &&
+         a.route_cache_misses == b.route_cache_misses &&
+         a.solve_cache_hits == b.solve_cache_hits &&
+         a.solve_cache_misses == b.solve_cache_misses;
 }
 
 ModeStats run_mode(const Topology& topology, const TrafficProgram& program,
-                   bool optimized, std::uint32_t repeat, double latency) {
+                   bool optimized, std::uint32_t repeat, double latency,
+                   std::uint32_t solver_threads = 1) {
   EngineOptions options;
   options.adaptive_routing = false;  // identical deterministic paths
   options.time_solver = true;
@@ -99,6 +134,7 @@ ModeStats run_mode(const Topology& topology, const TrafficProgram& program,
   options.incremental_solver = optimized;
   options.route_cache = optimized;
   options.solve_cache = optimized;
+  options.solver_threads = solver_threads;
 
   FlowEngine engine(topology, options);
   ModeStats stats;
@@ -109,7 +145,9 @@ ModeStats run_mode(const Topology& topology, const TrafficProgram& program,
   for (std::uint32_t r = 0; r < repeat; ++r) {
     SimResult steady;
     const double wall = time_run(engine, program, steady);
-    if (!same_result(cold, steady)) stats.self_consistent = false;
+    // Physical-only: a cold run misses the caches a steady run hits, so the
+    // counters legitimately differ between the two regimes.
+    if (!same_physical(cold, steady)) stats.self_consistent = false;
     if (r == 0 || wall < stats.steady_wall_seconds) {
       stats.steady_wall_seconds = wall;
       stats.result = std::move(steady);
@@ -143,13 +181,24 @@ void emit_mode(std::ostream& out, const char* name, const ModeStats& stats) {
       << ", \"makespan\": " << r.makespan << "}";
 }
 
+std::string compiler_id() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliParser cli("perf_engine",
                 "Times the flow engine (incremental solver + route cache + "
-                "solve cache vs full re-solve) over workload x topology "
-                "cells and writes BENCH_engine.json.");
+                "solve cache vs full re-solve, plus parallel solver thread "
+                "scaling) over workload x topology cells and writes "
+                "BENCH_engine.json.");
   cli.add_option("nodes", "machine size (endpoints = tasks)", "4096");
   cli.add_option("workloads",
                  "comma list of workload specs (default: all eleven)", "");
@@ -163,7 +212,18 @@ int main(int argc, char** argv) {
   cli.add_option("min-speedup",
                  "fail (exit 1) when any cell's steady speedup is below this",
                  "0");
-  cli.add_option("out", "output JSON path", "BENCH_engine.json");
+  cli.add_option("threads",
+                 "comma list of solver thread counts for the thread-scaling "
+                 "section (empty = skip it)",
+                 "");
+  cli.add_option("min-thread-speedup",
+                 "fail (exit 1) when the best 4-thread steady speedup over "
+                 "the serial solver across cells is below this (0 = report "
+                 "only; identicality is always enforced)",
+                 "0");
+  cli.add_option("git-sha", "source revision stamped into the JSON", "");
+  cli.add_option("out", "output JSON path",
+                 "build/artifacts/BENCH_engine.json");
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
 
   const auto nodes = cli.get_uint("nodes");
@@ -171,19 +231,38 @@ int main(int argc, char** argv) {
   const auto seed = cli.get_uint("seed");
   const double latency = cli.get_double("latency");
   const double min_speedup = cli.get_double("min-speedup");
+  const double min_thread_speedup = cli.get_double("min-thread-speedup");
   std::vector<std::string> workloads = cli.get_string_list("workloads");
   if (workloads.empty()) workloads = all_workload_names();
+  std::vector<std::uint32_t> thread_counts;
+  for (const auto t : cli.get_int_list("threads")) {
+    if (t < 1) throw std::invalid_argument("--threads entries must be >= 1");
+    thread_counts.push_back(static_cast<std::uint32_t>(t));
+  }
 
   std::vector<TopologyPoint> points;
   for (const auto& token : cli.get_string_list("points")) {
     points.push_back(parse_point_token(token));
   }
 
+  const std::filesystem::path out_path = cli.get_string("out");
+  if (out_path.has_parent_path()) {
+    std::filesystem::create_directories(out_path.parent_path());
+  }
+
   bool ok = true;
-  std::ofstream out(cli.get_string("out"));
+  // Best steady speedup of each thread count over serial across all cells:
+  // the gate asks whether parallelism CAN pay on this host, so the most
+  // favourable cell (largest components, least event churn) is the honest
+  // witness.
+  double best_4thread_speedup = 0.0;
+  std::ofstream out(out_path);
   out.precision(12);
-  out << "{\n  \"schema\": \"nestflow-bench-engine-v2\",\n"
-      << "  \"nodes\": " << nodes << ",\n  \"repeat\": " << repeat
+  out << "{\n  \"schema\": \"nestflow-bench-engine-v3\",\n"
+      << "  \"git_sha\": \"" << cli.get_string("git-sha") << "\",\n"
+      << "  \"compiler\": \"" << compiler_id() << "\",\n"
+      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n  \"nodes\": " << nodes << ",\n  \"repeat\": " << repeat
       << ",\n  \"seed\": " << seed << ",\n  \"hop_latency_seconds\": "
       << latency << ",\n  \"cells\": [\n";
 
@@ -209,9 +288,9 @@ int main(int argc, char** argv) {
       const ModeStats optimized =
           run_mode(*topology, program, true, repeat, latency);
 
-      const bool identical = same_result(baseline.result, optimized.result) &&
-                             baseline.self_consistent &&
-                             optimized.self_consistent;
+      const bool identical =
+          same_physical(baseline.result, optimized.result) &&
+          baseline.self_consistent && optimized.self_consistent;
       const double speedup =
           optimized.steady_wall_seconds > 0.0
               ? baseline.steady_wall_seconds / optimized.steady_wall_seconds
@@ -245,6 +324,73 @@ int main(int argc, char** argv) {
       emit_mode(out, "baseline", baseline);
       out << ",\n";
       emit_mode(out, "optimized", optimized);
+
+      // ------------------------------------------- thread-scaling section
+      if (!thread_counts.empty()) {
+        out << ",\n      \"thread_scaling\": [";
+        // The serial (threads=1) optimized run anchors both comparisons:
+        // physical identicality for every count, and the speedup baseline.
+        std::optional<ModeStats> serial;
+        std::optional<SimResult> parallel_reference;
+        bool first_entry = true;
+        for (const auto threads : thread_counts) {
+          const ModeStats timed =
+              run_mode(*topology, program, true, repeat, latency, threads);
+          if (threads == 1 && !serial) serial = timed;
+          if (!serial) {
+            serial = run_mode(*topology, program, true, repeat, latency, 1);
+          }
+
+          const bool physical_identical =
+              same_physical(serial->result, timed.result) &&
+              timed.self_consistent;
+          bool counters_identical = true;
+          if (threads > 1) {
+            if (!parallel_reference) {
+              parallel_reference = timed.result;
+            } else {
+              counters_identical =
+                  same_full(*parallel_reference, timed.result);
+            }
+          }
+          if (!physical_identical || !counters_identical) {
+            std::cerr << "THREAD MISMATCH on " << spec << " @ "
+                      << point.config_name() << " at solver_threads="
+                      << threads << ": physical "
+                      << (physical_identical ? "ok" : "DIVERGED")
+                      << ", counters "
+                      << (counters_identical ? "ok" : "DIVERGED") << "\n";
+            ok = false;
+          }
+
+          const double thread_speedup =
+              timed.steady_wall_seconds > 0.0
+                  ? serial->steady_wall_seconds / timed.steady_wall_seconds
+                  : 0.0;
+          if (threads == 4) {
+            best_4thread_speedup =
+                std::max(best_4thread_speedup, thread_speedup);
+          }
+          if (!first_entry) out << ", ";
+          first_entry = false;
+          out << "{\"threads\": " << threads << ", \"cold_wall_seconds\": "
+              << timed.cold_wall_seconds << ", \"steady_wall_seconds\": "
+              << timed.steady_wall_seconds << ", \"speedup_vs_serial\": "
+              << thread_speedup << ", \"identical\": "
+              << ((physical_identical && counters_identical) ? "true"
+                                                             : "false")
+              << "}";
+
+          std::cout << "  threads=" << threads << ": steady "
+                    << timed.steady_wall_seconds << " s, "
+                    << thread_speedup << "x vs serial, identical "
+                    << ((physical_identical && counters_identical) ? "yes"
+                                                                   : "NO")
+                    << "\n";
+        }
+        out << "]";
+      }
+
       out << ",\n      \"speedup\": " << speedup
           << ",\n      \"cold_speedup\": " << cold_speedup
           << ",\n      \"identical\": " << (identical ? "true" : "false")
@@ -263,5 +409,12 @@ int main(int argc, char** argv) {
     }
   }
   out << "\n  ]\n}\n";
+
+  if (min_thread_speedup > 0.0 &&
+      best_4thread_speedup < min_thread_speedup) {
+    std::cerr << "THREAD SPEEDUP BELOW TARGET: best 4-thread steady speedup "
+              << best_4thread_speedup << " < " << min_thread_speedup << "\n";
+    ok = false;
+  }
   return ok ? 0 : 1;
 }

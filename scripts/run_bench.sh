@@ -12,23 +12,45 @@
 #      prohibitively slow to BASELINE-solve at 4096), which writes
 #      BENCH_engine.json at the repo root;
 #   2. a gating pass on the issue's acceptance cells — Sweep3D and Stencil
-#      (nearneighbors) at N=4096 — with --min-speedup 2, so a perf
-#      regression below 2x steady-state fails this script.
+#      (nearneighbors) at N=4096 — with --min-speedup 2 and the
+#      solver-thread scaling section (1,2,4,8 threads), so a perf
+#      regression below 2x steady-state, or ANY parallel-vs-serial result
+#      divergence, fails this script. The 1.5x 4-thread wall-clock gate is
+#      engaged only when the host actually has >= 4 cores: thread scaling
+#      is a host property, identicality is a code property, and only the
+#      latter is checkable everywhere.
+#
+# Both JSONs are stamped with the git SHA, compiler, and the host's core
+# count so a checked-in trajectory records what produced it.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir="$repo_root/build-release"
 
+git_sha=$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)
+cores=$(nproc 2>/dev/null || echo 4)
+if [ "$cores" -ge 4 ]; then
+  thread_gate="--min-thread-speedup 1.5"
+else
+  thread_gate=""
+  echo "note: $cores core(s) available; thread-speedup gate disabled" \
+    "(identicality still enforced)"
+fi
+
 cmake --preset release -S "$repo_root"
-cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
-  --target perf_engine
+cmake --build "$build_dir" -j "$cores" --target perf_engine
 
 "$build_dir/bench/perf_engine" --nodes 1024 --repeat 2 \
+  --git-sha "$git_sha" \
   --out "$repo_root/BENCH_engine.json" "$@"
 
+# shellcheck disable=SC2086  # thread_gate intentionally word-splits
 "$build_dir/bench/perf_engine" \
   --workloads sweep3d,nearneighbors \
   --nodes 4096 \
   --min-speedup 2 \
+  --threads 1,2,4,8 \
+  $thread_gate \
+  --git-sha "$git_sha" \
   --out "$repo_root/BENCH_engine_gate.json"
 echo "wrote $repo_root/BENCH_engine.json (gate: BENCH_engine_gate.json)"

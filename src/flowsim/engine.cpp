@@ -1,12 +1,14 @@
 #include "flowsim/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cassert>
 #include <chrono>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <thread>
 
 namespace nestflow {
 
@@ -27,14 +29,31 @@ FlowEngine::FlowEngine(const Topology& topology, EngineOptions options)
     link_capacity_[l] = graph.link(l).capacity_bps;
   }
   link_base_capacity_ = link_capacity_;
-  link_flows_.resize(num_links);
+  incidence_.reset(num_links);
   link_active_count_.assign(num_links, 0);
   link_weight_sum_.assign(num_links, 0.0);
-  link_dead_count_.assign(num_links, 0);
   link_in_used_.assign(num_links, 0);
   link_bytes_.assign(num_links, 0.0);
   link_dirty_.assign(num_links, 0);
   link_in_component_.assign(num_links, 0);
+
+  // Intra-run parallelism: one keep-alive pool for the engine's lifetime.
+  // Only the incremental path is parallelised (the component partition is
+  // what the workers divide), so a serial-solver engine never pays for a
+  // pool it cannot use.
+  std::size_t solver_threads = options_.solver_threads;
+  if (solver_threads == 0) {
+    solver_threads =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (solver_threads > 1 && options_.incremental_solver) {
+    solver_pool_ = std::make_unique<ThreadPool>(solver_threads);
+    worker_solvers_.reserve(solver_threads);
+    for (std::size_t w = 0; w < solver_threads; ++w) {
+      worker_solvers_.push_back(
+          std::make_unique<FairShareSolver<EngineContext>>());
+    }
+  }
 }
 
 void FlowEngine::set_capacity_factor(LinkId link, double factor) {
@@ -149,7 +168,7 @@ bool FlowEngine::activate(FlowIndex f, SimResult& result) {
   active_flows_.push_back(f);
 
   for (const LinkId l : path_view(f)) {
-    link_flows_[l].push_back(f);
+    incidence_.add(l, f);
     link_weight_sum_[l] += spec.weight;
     if (incremental_) mark_dirty(l);
     if (link_active_count_[l]++ == 0 && !link_in_used_[l]) {
@@ -175,11 +194,8 @@ void FlowEngine::complete(FlowIndex f, double now,
     link_weight_sum_[l] =
         link_active_count_[l] == 0 ? 0.0 : link_weight_sum_[l] - weight;
     if (incremental_) mark_dirty(l);
-    ++link_dead_count_[l];
-    if (link_dead_count_[l] > link_flows_[l].size() / 2 &&
-        link_dead_count_[l] > 8) {
-      compact_link(l);
-    }
+    incidence_.note_stale(l);
+    if (incidence_.should_compact(l)) compact_link(l);
   }
   recycle_path(f);
 
@@ -216,7 +232,7 @@ void FlowEngine::strand_active(FlowIndex f, SimResult& result) {
     link_weight_sum_[l] =
         link_active_count_[l] == 0 ? 0.0 : link_weight_sum_[l] - weight;
     if (incremental_) mark_dirty(l);
-    ++link_dead_count_[l];
+    incidence_.note_stale(l);
   }
   recycle_path(f);
   strand(f, result);
@@ -254,7 +270,7 @@ void FlowEngine::collect_dirty_components() {
   // which is exactly the closure that makes a sub-solve exact (rates of a
   // component depend on nothing outside it).
   for (std::size_t scan = 0; scan < affected_links_.size(); ++scan) {
-    for (const FlowIndex g : link_flows_[affected_links_[scan]]) {
+    for (const FlowIndex g : incidence_.flows(affected_links_[scan])) {
       if (state_[g] != FlowState::kActive || flow_in_component_[g]) continue;
       flow_in_component_[g] = 1;
       affected_flows_.push_back(g);
@@ -270,15 +286,167 @@ void FlowEngine::collect_dirty_components() {
   for (const FlowIndex g : affected_flows_) flow_in_component_[g] = 0;
 }
 
-bool FlowEngine::try_cached_solve(SimResult& result) {
-  solve_insert_armed_ = false;
-  // The key identifies flows by their shared (route-cache-owned) arena
-  // extents; a free-listed extent's offset means nothing across events, so
-  // any unshared path in the component forfeits memoization for this event.
-  for (const FlowIndex f : affected_flows_) {
-    if (!path_shared_[f]) return false;
+void FlowEngine::collect_dirty_components_partitioned() {
+  // Same seeding and closure rules as collect_dirty_components(), but each
+  // seed's component is BFS-exhausted before the next seed starts, so every
+  // component occupies a contiguous range of affected_flows_ and
+  // affected_links_ — the unit of work the solver pool divides. The union
+  // of ranges equals the serial function's affected set; only the
+  // enumeration order differs (grouped by component instead of globally
+  // interleaved), which cannot change any rate: components share no links,
+  // and within a component the solver's freeze sequence is a pure function
+  // of content, not of enumeration order (see maxmin.hpp).
+  affected_links_.clear();
+  affected_flows_.clear();
+  components_.clear();
+  for (const LinkId seed : dirty_links_) link_dirty_[seed] = 0;
+  for (const LinkId seed : dirty_links_) {
+    if (link_active_count_[seed] == 0 || link_in_component_[seed]) continue;
+    const auto flow_begin = static_cast<std::uint32_t>(affected_flows_.size());
+    const auto link_begin = static_cast<std::uint32_t>(affected_links_.size());
+    link_in_component_[seed] = 1;
+    affected_links_.push_back(seed);
+    for (std::size_t scan = link_begin; scan < affected_links_.size();
+         ++scan) {
+      for (const FlowIndex g : incidence_.flows(affected_links_[scan])) {
+        if (state_[g] != FlowState::kActive || flow_in_component_[g]) continue;
+        flow_in_component_[g] = 1;
+        affected_flows_.push_back(g);
+        for (const LinkId l : path_view(g)) {
+          if (!link_in_component_[l]) {
+            link_in_component_[l] = 1;
+            affected_links_.push_back(l);
+          }
+        }
+      }
+    }
+    components_.push_back(
+        ComponentRange{flow_begin,
+                       static_cast<std::uint32_t>(affected_flows_.size()),
+                       link_begin,
+                       static_cast<std::uint32_t>(affected_links_.size())});
+  }
+  dirty_links_.clear();
+  for (const LinkId l : affected_links_) link_in_component_[l] = 0;
+  for (const FlowIndex g : affected_flows_) flow_in_component_[g] = 0;
+}
+
+void FlowEngine::solve_component(std::size_t c,
+                                 FairShareSolver<EngineContext>& solver) {
+  const ComponentRange& range = components_[c];
+  const std::span<const LinkId> links(
+      affected_links_.data() + range.link_begin,
+      range.link_end - range.link_begin);
+  const std::span<const FlowIndex> flows(
+      affected_flows_.data() + range.flow_begin,
+      range.flow_end - range.flow_begin);
+
+  if (solve_cache_active_) {
+    // Per-component analogue of try_cached_solve: an unstable path identity
+    // only forfeits memoization for THIS component, not the whole event.
+    bool stable_identity = true;
+    for (const FlowIndex f : flows) {
+      if (!path_shared_[f]) {
+        stable_identity = false;
+        break;
+      }
+    }
+    if (stable_identity) {
+      auto& key = component_keys_[c];
+      const std::uint64_t hash = build_solve_key(links, flows, key);
+      component_hash_[c] = hash;
+      // Read-only probe against the cache state frozen at event start
+      // (inserts are deferred to the serial commit), so concurrent
+      // components race on nothing — and the lookup outcome is independent
+      // of scheduling.
+      if (const double* memo = find_cached_rates(key, hash)) {
+        for (std::size_t i = 0; i < flows.size(); ++i) {
+          rates_[flows[i]] = memo[i];
+        }
+        component_cache_[c] = ComponentCache::kHit;
+        return;
+      }
+      component_cache_[c] = ComponentCache::kMiss;
+    }
+  }
+  const EngineContext ctx{this};
+  component_rounds_[c] =
+      solver.solve(ctx, links, link_weight_sum_, flows, rates_);
+}
+
+void FlowEngine::parallel_solve(SimResult& result) {
+  const std::size_t ncomp = components_.size();
+  component_rounds_.assign(ncomp, 0);
+  component_cache_.assign(ncomp, ComponentCache::kUncacheable);
+  component_hash_.assign(ncomp, 0);
+  if (component_keys_.size() < ncomp) component_keys_.resize(ncomp);
+
+  if (ncomp == 1) {
+    // Nothing to divide: solve inline on the caller with the engine's own
+    // scratch, skipping the pool round-trip. Identical arithmetic either
+    // way — worker scratch carries no state between solves.
+    solve_component(0, solver_);
+  } else {
+    // Workers pull component indices off a shared counter (dynamic load
+    // balance: component sizes are wildly uneven). Which worker solves
+    // which component is scheduling-dependent, but nothing observable
+    // depends on it: rates land in disjoint per-flow slots, per-component
+    // outcomes land in the c-th slot of each array, and cache probes read
+    // frozen state.
+    std::atomic<std::size_t> next{0};
+    TaskGroup group(*solver_pool_);
+    const std::size_t lanes = std::min(ncomp, solver_pool_->size());
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      group.run([this, &next, ncomp] {
+        FairShareSolver<EngineContext>& solver =
+            *worker_solvers_[solver_pool_->current_worker_index()];
+        for (;;) {
+          const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+          if (c >= ncomp) return;
+          solve_component(c, solver);
+        }
+      });
+    }
+    group.wait();
   }
 
+  // Serial commit in component-discovery order: counters and cache inserts
+  // become a pure function of the event sequence — independent of worker
+  // count and scheduling — which is what makes every SimResult field
+  // bit-identical across thread counts > 1.
+  for (std::size_t c = 0; c < ncomp; ++c) {
+    switch (component_cache_[c]) {
+      case ComponentCache::kHit:
+        ++result.solve_cache_hits;
+        break;
+      case ComponentCache::kMiss: {
+        ++result.solve_cache_misses;
+        result.solver_rounds += component_rounds_[c];
+        const ComponentRange& range = components_[c];
+        const std::span<const FlowIndex> flows(
+            affected_flows_.data() + range.flow_begin,
+            range.flow_end - range.flow_begin);
+        const auto& key = component_keys_[c];
+        // Two identical components in one event both missed (their probes
+        // ran against the event-start state); insert only the first.
+        if (solve_key_arena_.size() + key.size() + solve_rates_arena_.size() +
+                    flows.size() <=
+                kMaxSolveCacheWords &&
+            find_cached_rates(key, component_hash_[c]) == nullptr) {
+          insert_solved_rates(key, component_hash_[c], flows);
+        }
+        break;
+      }
+      case ComponentCache::kUncacheable:
+        result.solver_rounds += component_rounds_[c];
+        break;
+    }
+  }
+}
+
+std::uint64_t FlowEngine::build_solve_key(
+    std::span<const LinkId> links, std::span<const FlowIndex> flows,
+    std::vector<std::uint64_t>& key) const {
   // Content blob in BFS-discovery order, deliberately NOT canonicalised:
   // with uniform weights a flow's rate is a pure function of (its extent,
   // the component's content multiset) — equal-extent flows are bit-exactly
@@ -289,46 +457,79 @@ bool FlowEngine::try_cached_solve(SimResult& result) {
   // the steady regime re-enumerates components in an identical order anyway
   // (the whole engine is deterministic), so permuted duplicates are rare
   // and the size cap absorbs them.
-  solve_key_.clear();
-  solve_key_.reserve(1 + 3 * affected_links_.size() + affected_flows_.size());
+  key.clear();
+  key.reserve(1 + 3 * links.size() + flows.size());
   // FNV-1a picks the bucket; correctness rests on the full-content
-  // comparison below, never on the hash.
+  // comparison in find_cached_rates, never on the hash.
   std::uint64_t hash = 14695981039346656037ull;
-  const auto push = [this, &hash](std::uint64_t word) {
-    solve_key_.push_back(word);
+  const auto push = [&key, &hash](std::uint64_t word) {
+    key.push_back(word);
     hash ^= word;
     hash *= 1099511628211ull;
   };
-  push((static_cast<std::uint64_t>(affected_links_.size()) << 32) |
-       affected_flows_.size());
-  for (const LinkId l : affected_links_) {
+  push((static_cast<std::uint64_t>(links.size()) << 32) | flows.size());
+  for (const LinkId l : links) {
     push(l);
     push(std::bit_cast<std::uint64_t>(link_capacity_[l]));
     push(std::bit_cast<std::uint64_t>(link_weight_sum_[l]));
   }
-  for (const FlowIndex f : affected_flows_) {
+  for (const FlowIndex f : flows) {
     push((static_cast<std::uint64_t>(path_offset_[f]) << 32) |
          path_length_[f]);
   }
-  solve_key_hash_ = hash;
+  return hash;
+}
 
-  if (const auto it = solve_cache_map_.find(hash);
-      it != solve_cache_map_.end()) {
-    for (const std::uint32_t index : it->second) {
-      const SolveCacheEntry& entry = solve_cache_entries_[index];
-      if (entry.key_words != solve_key_.size() ||
-          !std::equal(solve_key_.begin(), solve_key_.end(),
-                      solve_key_arena_.begin() +
-                          static_cast<std::ptrdiff_t>(entry.key_offset))) {
-        continue;
-      }
-      const double* memo = solve_rates_arena_.data() + entry.rates_offset;
-      for (std::size_t i = 0; i < affected_flows_.size(); ++i) {
-        rates_[affected_flows_[i]] = memo[i];
-      }
-      ++result.solve_cache_hits;
-      return true;
+const double* FlowEngine::find_cached_rates(std::span<const std::uint64_t> key,
+                                            std::uint64_t hash) const {
+  const auto it = solve_cache_map_.find(hash);
+  if (it == solve_cache_map_.end()) return nullptr;
+  for (const std::uint32_t index : it->second) {
+    const SolveCacheEntry& entry = solve_cache_entries_[index];
+    if (entry.key_words != key.size() ||
+        !std::equal(key.begin(), key.end(),
+                    solve_key_arena_.begin() +
+                        static_cast<std::ptrdiff_t>(entry.key_offset))) {
+      continue;
     }
+    return solve_rates_arena_.data() + entry.rates_offset;
+  }
+  return nullptr;
+}
+
+void FlowEngine::insert_solved_rates(std::span<const std::uint64_t> key,
+                                     std::uint64_t hash,
+                                     std::span<const FlowIndex> flows) {
+  SolveCacheEntry entry;
+  entry.key_offset = solve_key_arena_.size();
+  entry.key_words = static_cast<std::uint32_t>(key.size());
+  entry.rates_offset = static_cast<std::uint32_t>(solve_rates_arena_.size());
+  solve_key_arena_.insert(solve_key_arena_.end(), key.begin(), key.end());
+  for (const FlowIndex f : flows) {
+    solve_rates_arena_.push_back(rates_[f]);
+  }
+  solve_cache_map_[hash].push_back(
+      static_cast<std::uint32_t>(solve_cache_entries_.size()));
+  solve_cache_entries_.push_back(entry);
+}
+
+bool FlowEngine::try_cached_solve(SimResult& result) {
+  solve_insert_armed_ = false;
+  // The key identifies flows by their shared (route-cache-owned) arena
+  // extents; a free-listed extent's offset means nothing across events, so
+  // any unshared path in the component forfeits memoization for this event.
+  for (const FlowIndex f : affected_flows_) {
+    if (!path_shared_[f]) return false;
+  }
+
+  solve_key_hash_ =
+      build_solve_key(affected_links_, affected_flows_, solve_key_);
+  if (const double* memo = find_cached_rates(solve_key_, solve_key_hash_)) {
+    for (std::size_t i = 0; i < affected_flows_.size(); ++i) {
+      rates_[affected_flows_[i]] = memo[i];
+    }
+    ++result.solve_cache_hits;
+    return true;
   }
   ++result.solve_cache_misses;
   solve_insert_armed_ =
@@ -340,18 +541,7 @@ bool FlowEngine::try_cached_solve(SimResult& result) {
 
 void FlowEngine::solve_cache_insert() {
   solve_insert_armed_ = false;
-  SolveCacheEntry entry;
-  entry.key_offset = solve_key_arena_.size();
-  entry.key_words = static_cast<std::uint32_t>(solve_key_.size());
-  entry.rates_offset = static_cast<std::uint32_t>(solve_rates_arena_.size());
-  solve_key_arena_.insert(solve_key_arena_.end(), solve_key_.begin(),
-                          solve_key_.end());
-  for (const FlowIndex f : affected_flows_) {
-    solve_rates_arena_.push_back(rates_[f]);
-  }
-  solve_cache_map_[solve_key_hash_].push_back(
-      static_cast<std::uint32_t>(solve_cache_entries_.size()));
-  solve_cache_entries_.push_back(entry);
+  insert_solved_rates(solve_key_, solve_key_hash_, affected_flows_);
 }
 
 void FlowEngine::cancel_descendants(FlowIndex f, SimResult& result) {
@@ -376,11 +566,8 @@ void FlowEngine::cancel_descendants(FlowIndex f, SimResult& result) {
 }
 
 void FlowEngine::compact_link(LinkId l) {
-  auto& list = link_flows_[l];
-  std::erase_if(list, [this](FlowIndex f) {
-    return state_[f] != FlowState::kActive;
-  });
-  link_dead_count_[l] = 0;
+  incidence_.compact(
+      l, [this](FlowIndex f) { return state_[f] == FlowState::kActive; });
 }
 
 SimResult FlowEngine::run(const TrafficProgram& program) {
@@ -430,10 +617,15 @@ SimResult FlowEngine::run(const TrafficProgram& program) {
   assert(std::all_of(link_active_count_.begin(), link_active_count_.end(),
                      [](std::uint32_t c) { return c == 0; }));
   std::fill(link_weight_sum_.begin(), link_weight_sum_.end(), 0.0);
-  for (auto& list : link_flows_) list.clear();
-  std::fill(link_dead_count_.begin(), link_dead_count_.end(), 0);
+  incidence_.reset(link_capacity_.size());
   std::fill(link_in_used_.begin(), link_in_used_.end(), 0);
   solver_.resize(link_capacity_.size(), n);
+  parallel_active_ = incremental_ && solver_pool_ != nullptr;
+  if (parallel_active_) {
+    for (auto& solver : worker_solvers_) {
+      solver->resize(link_capacity_.size(), n);
+    }
+  }
   flow_finish_times_scratch_.clear();
   if (options_.record_flow_times) {
     flow_finish_times_scratch_.assign(n, 0.0);
@@ -505,7 +697,14 @@ SimResult FlowEngine::run(const TrafficProgram& program) {
 
     std::chrono::steady_clock::time_point solve_start;
     if (options_.time_solver) solve_start = std::chrono::steady_clock::now();
-    if (incremental_) {
+    if (parallel_active_) {
+      // Same dirty-component closure as the serial incremental path, but
+      // partitioned into per-component ranges and solved across the
+      // engine-owned pool. Cache inserts happen inside the commit phase,
+      // still BEFORE quantisation (see the serial branch below).
+      collect_dirty_components_partitioned();
+      if (!components_.empty()) parallel_solve(result);
+    } else if (incremental_) {
       // Re-solve only the connected components touched by an occupancy
       // change; untouched components keep their frozen rates, which a full
       // solve would reproduce bit-for-bit (max-min independence — see

@@ -14,13 +14,16 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "flowsim/dag.hpp"
 #include "flowsim/flow.hpp"
+#include "flowsim/incidence.hpp"
 #include "flowsim/maxmin.hpp"
 #include "topo/topology.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nestflow {
 
@@ -87,6 +90,23 @@ struct EngineOptions {
   /// collection + solver) into SimResult::solve_seconds. Off by default:
   /// the clock reads cost more than a small component solve.
   bool time_solver = false;
+  /// Worker threads for the per-event rate re-solve. The dirty components
+  /// between events are independent max-min problems (they share no links),
+  /// so with solver_threads > 1 the engine owns a keep-alive ThreadPool for
+  /// its lifetime and solves them concurrently: each worker uses its own
+  /// FairShareSolver scratch, solve-cache lookups are read-only against the
+  /// cache state frozen at event start (inserts are committed serially, in
+  /// component-discovery order, after the join), and rates land in disjoint
+  /// per-flow slots. Every SimResult field — *including* solver_rounds and
+  /// the cache counters — is therefore bit-identical at every thread count
+  /// > 1. 1 (the default) runs the exact serial code path of the
+  /// incremental solver (whose union-keyed solve cache makes its counters,
+  /// and only its counters, differ from the parallel path); 0 picks
+  /// hardware_concurrency. Requires incremental_solver (the component
+  /// partition is what gets parallelised); ignored without it. See
+  /// DESIGN.md §7 for the determinism argument and the sweep-level
+  /// oversubscription arbitration.
+  std::uint32_t solver_threads = 1;
 };
 
 struct SimResult {
@@ -182,7 +202,7 @@ class FlowEngine {
       return engine->link_capacity_[l];
     }
     [[nodiscard]] std::span<const FlowIndex> link_flows(LinkId l) const {
-      return engine->link_flows_[l];
+      return engine->incidence_.flows(l);
     }
     [[nodiscard]] bool flow_active(FlowIndex f) const {
       return engine->state_[f] == FlowState::kActive;
@@ -225,6 +245,19 @@ class FlowEngine {
   /// active flow-link incidence graph that touch them, filling
   /// affected_flows_/affected_links_ and consuming the dirty set.
   void collect_dirty_components();
+  /// Partitioned variant for the parallel path: same affected set, but each
+  /// seed's component is BFS-exhausted before the next seed starts, so
+  /// components occupy contiguous [begin, end) ranges of
+  /// affected_flows_/affected_links_, recorded in components_.
+  void collect_dirty_components_partitioned();
+  /// Solves components_ across the solver pool (inline when there is only
+  /// one), then commits counters and solve-cache inserts in component
+  /// order. Bit-identical to the serial solve at any worker count.
+  void parallel_solve(SimResult& result);
+  /// One component's lookup-or-solve, safe to run concurrently with other
+  /// components': touches only rates_ slots of its own flows, its own
+  /// component_* slots and the given per-worker solver scratch.
+  void solve_component(std::size_t c, FairShareSolver<EngineContext>& solver);
   /// Looks the affected component union up in the solve cache by exact
   /// content. On a hit writes the memoized rates into rates_ and returns
   /// true; on a cacheable miss arms solve_cache_insert(). Returns false
@@ -233,6 +266,20 @@ class FlowEngine {
   [[nodiscard]] bool try_cached_solve(SimResult& result);
   /// Stores the just-solved component's canonical content and rates.
   void solve_cache_insert();
+  /// Serialises (links, flows) into `key` in the given order — the exact
+  /// blob layout of try_cached_solve — and returns its FNV-1a hash.
+  std::uint64_t build_solve_key(std::span<const LinkId> links,
+                                std::span<const FlowIndex> flows,
+                                std::vector<std::uint64_t>& key) const;
+  /// Finds a verified cache entry for `key`; returns its memoized rates (in
+  /// blob flow order) or nullptr. Read-only: safe to call concurrently from
+  /// the component solvers as long as no insert interleaves.
+  [[nodiscard]] const double* find_cached_rates(
+      std::span<const std::uint64_t> key, std::uint64_t hash) const;
+  /// Appends (key, rates of `flows`) to the cache arenas under `hash`.
+  void insert_solved_rates(std::span<const std::uint64_t> key,
+                           std::uint64_t hash,
+                           std::span<const FlowIndex> flows);
   /// Empties the solve cache (capacity edits would leave dead entries —
   /// they can never match again, since capacity bits are part of the key).
   void drop_solve_cache();
@@ -312,13 +359,33 @@ class FlowEngine {
   std::vector<LinkId> affected_links_;
   std::vector<FlowIndex> affected_flows_;
 
+  // Parallel-solver state (EngineOptions::solver_threads > 1). The pool and
+  // per-worker solver scratch live for the engine's lifetime (keep-alive:
+  // idle workers sleep between events and across run() calls). Component c
+  // of an event owns the c-th slot of each per-component array, so workers
+  // never write a shared slot; its solve-cache decision is recorded here
+  // during the concurrent phase and committed serially after the join.
+  enum class ComponentCache : std::uint8_t { kUncacheable, kHit, kMiss };
+  struct ComponentRange {
+    std::uint32_t flow_begin, flow_end;  // into affected_flows_
+    std::uint32_t link_begin, link_end;  // into affected_links_
+  };
+  bool parallel_active_ = false;  // resolved per run()
+  std::unique_ptr<ThreadPool> solver_pool_;
+  std::vector<std::unique_ptr<FairShareSolver<EngineContext>>>
+      worker_solvers_;  // one per pool worker (unique_ptr: no false sharing)
+  std::vector<ComponentRange> components_;
+  std::vector<std::uint64_t> component_rounds_;
+  std::vector<ComponentCache> component_cache_;
+  std::vector<std::uint64_t> component_hash_;
+  std::vector<std::vector<std::uint64_t>> component_keys_;  // reused blobs
+
   // Per-link state (sized once per topology).
   std::vector<double> link_capacity_;        // effective (after degradation)
   std::vector<double> link_base_capacity_;
-  std::vector<std::vector<FlowIndex>> link_flows_;  // with lazy removal
+  LinkFlowIncidence incidence_;  // link→flow lists, flat arena, lazy removal
   std::vector<std::uint32_t> link_active_count_;
   std::vector<double> link_weight_sum_;  // weighted occupancy for the solver
-  std::vector<std::uint32_t> link_dead_count_;
   std::vector<LinkId> used_links_;  // links with active flows (lazily pruned)
   std::vector<std::uint8_t> link_in_used_;
   std::vector<double> link_bytes_;

@@ -39,6 +39,18 @@
 // flows". The monotonicity argument survives weighting: freezing at the
 // global minimum share removes weight_f * share* <= cap_l * w_f / W_l from
 // link l, so (cap - w*share*)/(W - w) >= cap/W.
+//
+// Concurrency contract: a solver instance owns mutable scratch (heap,
+// frozen flags, residual capacities) and must not be shared between
+// threads, but DISTINCT instances may solve DISTINCT components
+// concurrently against one read-only context — solve() only reads the
+// context and only writes rates[f] for flows of its own component, and the
+// freeze sequence is a pure function of component content (strict
+// (share, id) order via the lazy-revalidation compare below), never of
+// which instance runs it or when. The engine's parallel path keeps one
+// solver per pool worker on exactly this contract (see DESIGN.md §7);
+// scratch carries no state between solves, so a worker solver and the
+// engine's serial solver produce bit-identical rates for the same input.
 #pragma once
 
 #include <algorithm>

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -54,6 +55,10 @@ void Table::write_csv(std::ostream& out) const {
 }
 
 void Table::save_csv(const std::string& path) const {
+  // Callers default their outputs into build/artifacts/, which may not
+  // exist yet on a fresh tree.
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open for writing: " + path);
   write_csv(out);

@@ -3,8 +3,18 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <stdexcept>
+#include <utility>
 
 namespace nestflow {
+
+namespace {
+// Worker identity for current_worker_index(). Keyed by pool pointer so a
+// worker of one pool reads kNotAWorker against any other pool, which keeps
+// nested pools (outer sweep, inner solver) from aliasing scratch slots.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+thread_local std::size_t tls_worker_index = ThreadPool::kNotAWorker;
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -12,7 +22,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -25,7 +35,24 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
-void ThreadPool::worker_loop() {
+std::size_t ThreadPool::current_worker_index() const noexcept {
+  return tls_worker_pool == this ? tls_worker_index : kNotAWorker;
+}
+
+void ThreadPool::post(std::function<void()> fn) {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool::post after shutdown");
+    }
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tls_worker_pool = this;
+  tls_worker_index = index;
   for (;;) {
     std::function<void()> task;
     {
@@ -39,6 +66,47 @@ void ThreadPool::worker_loop() {
   }
 }
 
+TaskGroup::~TaskGroup() {
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  {
+    std::lock_guard lock(mutex_);
+    ++pending_;
+  }
+  try {
+    pool_.post([this, fn = std::move(fn)] {
+      std::exception_ptr err;
+      try {
+        fn();
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard lock(mutex_);
+      if (err && !error_) error_ = std::move(err);
+      if (--pending_ == 0) done_cv_.notify_all();
+    });
+  } catch (...) {
+    // The pool refused the task (shutdown): undo the reservation so wait()
+    // and the destructor cannot hang, then surface the error to the caller.
+    std::lock_guard lock(mutex_);
+    --pending_;
+    throw;
+  }
+}
+
+void TaskGroup::wait() {
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  if (error_) {
+    std::exception_ptr err = std::exchange(error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
@@ -46,10 +114,9 @@ void ThreadPool::parallel_for(std::size_t count,
   std::exception_ptr first_error;
   std::mutex error_mutex;
   const std::size_t lanes = std::min(count, size());
-  std::vector<std::future<void>> futures;
-  futures.reserve(lanes);
+  TaskGroup group(*this);
   for (std::size_t lane = 0; lane < lanes; ++lane) {
-    futures.push_back(submit([&] {
+    group.run([&] {
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= count) return;
@@ -60,9 +127,9 @@ void ThreadPool::parallel_for(std::size_t count,
           if (!first_error) first_error = std::current_exception();
         }
       }
-    }));
+    });
   }
-  for (auto& future : futures) future.get();
+  group.wait();
   if (first_error) std::rethrow_exception(first_error);
 }
 

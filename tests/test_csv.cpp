@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -58,8 +59,23 @@ TEST(Table, SaveCsvRoundTrip) {
 
 TEST(Table, SaveCsvBadPathThrows) {
   Table table({"k"});
-  EXPECT_THROW(table.save_csv("/nonexistent-dir-xyz/file.csv"),
+  // save_csv creates missing parent directories, so a merely-absent dir is
+  // no longer an error; a parent chain through a non-directory still is.
+  EXPECT_THROW(table.save_csv("/dev/null/subdir/file.csv"),
                std::runtime_error);
+}
+
+TEST(Table, SaveCsvCreatesMissingParentDirectories) {
+  Table table({"k"});
+  table.add_row({"7"});
+  const std::string dir = testing::TempDir() + "nestflow_csv_test_dir";
+  const std::string path = dir + "/nested/file.csv";
+  table.save_csv(path);
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "k\n7\n");
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Format, Fixed) {

@@ -1,0 +1,270 @@
+// Property tests for the parallel component solver: an engine with
+// solver_threads = 2, 4 or 8 must produce a SimResult identical to the
+// serial (solver_threads = 1) engine — same physical metrics, same flow
+// finish times — across every workload, every topology family, faults,
+// weights, quantisation and warm reuse. Additionally, ALL multi-threaded
+// runs must agree with each other on the work counters too (the
+// component-keyed solve cache is deterministic in the thread count; see
+// EngineOptions::solver_threads for why threads = 1 keeps its own,
+// union-keyed counter stream).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flowsim/engine.hpp"
+#include "resilience/fault_model.hpp"
+#include "resilience/fault_router.hpp"
+#include "topo/factory.hpp"
+#include "util/prng.hpp"
+#include "workloads/factory.hpp"
+
+namespace nestflow {
+namespace {
+
+constexpr std::uint32_t kThreadCounts[] = {1, 2, 4, 8};
+
+const std::vector<std::string>& family_specs() {
+  static const std::vector<std::string> specs = {
+      "torus:4x4x2",     "fattree:4,4",    "thintree:4,2,2",
+      "nesttree:64,2,2", "nestghc:64,2,2", "dragonfly:2,4,2",
+      "jellyfish:24,2,4,7"};
+  return specs;
+}
+
+TrafficProgram generate(const Topology& topology, const std::string& spec) {
+  WorkloadContext context;
+  context.num_tasks = topology.num_endpoints();
+  context.seed = hash_combine(42, std::hash<std::string>{}(spec));
+  return make_workload(spec)->generate(context);
+}
+
+std::optional<TrafficProgram> try_generate(const Topology& topology,
+                                           const std::string& spec) {
+  try {
+    return generate(topology, spec);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+/// Bitwise physical equality: everything the simulation means, including
+/// per-flow finish times. Plain == on the doubles is the contract — the
+/// parallel path must reproduce the exact serial values, not close ones.
+void expect_identical(const SimResult& a, const SimResult& b,
+                      const std::string& context) {
+  EXPECT_EQ(a.makespan, b.makespan) << context;
+  EXPECT_EQ(a.total_bytes, b.total_bytes) << context;
+  EXPECT_EQ(a.num_flows, b.num_flows) << context;
+  EXPECT_EQ(a.events, b.events) << context;
+  EXPECT_EQ(a.max_link_utilization, b.max_link_utilization) << context;
+  EXPECT_EQ(a.avg_active_flows, b.avg_active_flows) << context;
+  EXPECT_EQ(a.peak_active_flows, b.peak_active_flows) << context;
+  EXPECT_EQ(a.stranded_flows, b.stranded_flows) << context;
+  EXPECT_EQ(a.cancelled_flows, b.cancelled_flows) << context;
+  EXPECT_EQ(a.rerouted_flows, b.rerouted_flows) << context;
+  EXPECT_EQ(a.reroute_extra_hops, b.reroute_extra_hops) << context;
+  EXPECT_EQ(a.undelivered_bytes, b.undelivered_bytes) << context;
+  for (std::size_t c = 0; c < a.bytes_by_class.size(); ++c) {
+    EXPECT_EQ(a.bytes_by_class[c], b.bytes_by_class[c]) << context;
+  }
+  ASSERT_EQ(a.flow_finish_times.size(), b.flow_finish_times.size()) << context;
+  for (std::size_t f = 0; f < a.flow_finish_times.size(); ++f) {
+    if (std::isnan(a.flow_finish_times[f])) {
+      EXPECT_TRUE(std::isnan(b.flow_finish_times[f])) << context;
+    } else {
+      EXPECT_EQ(a.flow_finish_times[f], b.flow_finish_times[f]) << context;
+    }
+  }
+}
+
+/// expect_identical plus the work counters — the bar every pair of
+/// multi-threaded runs must clear against each other.
+void expect_identical_with_counters(const SimResult& a, const SimResult& b,
+                                    const std::string& context) {
+  expect_identical(a, b, context);
+  EXPECT_EQ(a.solver_rounds, b.solver_rounds) << context;
+  EXPECT_EQ(a.route_cache_hits, b.route_cache_hits) << context;
+  EXPECT_EQ(a.route_cache_misses, b.route_cache_misses) << context;
+  EXPECT_EQ(a.solve_cache_hits, b.solve_cache_hits) << context;
+  EXPECT_EQ(a.solve_cache_misses, b.solve_cache_misses) << context;
+}
+
+SimResult run_with(const Topology& topology, const TrafficProgram& program,
+                   std::uint32_t solver_threads, EngineOptions base = {},
+                   const FaultModel* faults = nullptr) {
+  base.adaptive_routing = false;  // identical deterministic paths
+  base.record_flow_times = true;
+  base.solver_threads = solver_threads;
+  FlowEngine engine(topology, base);
+  if (faults != nullptr) faults->apply(engine);
+  return engine.run(program);
+}
+
+/// Runs the program at every thread count and checks the whole equivalence
+/// class in one sweep: every count vs serial on physical metrics, and every
+/// multi-threaded count vs the first multi-threaded one on counters too.
+void check_thread_counts(const Topology& topology,
+                         const TrafficProgram& program,
+                         const std::string& context,
+                         EngineOptions base = {},
+                         const FaultModel* faults = nullptr) {
+  std::optional<SimResult> serial;
+  std::optional<SimResult> parallel_reference;
+  for (const auto threads : kThreadCounts) {
+    const SimResult result =
+        run_with(topology, program, threads, base, faults);
+    const std::string where =
+        context + " @ solver_threads=" + std::to_string(threads);
+    if (!serial) {
+      serial = result;
+      continue;
+    }
+    expect_identical(*serial, result, where);
+    if (!parallel_reference) {
+      parallel_reference = result;
+    } else {
+      expect_identical_with_counters(*parallel_reference, result, where);
+    }
+  }
+}
+
+TEST(ParallelSolve, BitIdenticalAcrossWorkloadsAndFamilies) {
+  for (const auto& family : family_specs()) {
+    const auto topo = make_topology(family);
+    for (const auto& spec : all_workload_names()) {
+      const auto program = try_generate(*topo, spec);
+      if (!program) continue;
+      check_thread_counts(*topo, *program, family + " x " + spec);
+    }
+  }
+}
+
+TEST(ParallelSolve, BitIdenticalWithSolveCacheOff) {
+  EngineOptions options;
+  options.solve_cache = false;
+  for (const auto& family : family_specs()) {
+    const auto topo = make_topology(family);
+    for (const std::string spec : {"sweep3d", "unstructured-app"}) {
+      const auto program = try_generate(*topo, spec);
+      if (!program) continue;
+      check_thread_counts(*topo, *program,
+                          family + " x " + spec + " (no solve cache)",
+                          options);
+    }
+  }
+}
+
+TEST(ParallelSolve, BitIdenticalWithQuantizationAndLatency) {
+  EngineOptions options;
+  options.rate_quantum_rel = 0.05;
+  options.hop_latency_seconds = 1e-6;
+  for (const auto& family : family_specs()) {
+    const auto topo = make_topology(family);
+    for (const std::string spec : {"allreduce", "nearneighbors"}) {
+      const auto program = try_generate(*topo, spec);
+      if (!program) continue;
+      check_thread_counts(*topo, *program,
+                          family + " x " + spec + " (quantised)", options);
+    }
+  }
+}
+
+TEST(ParallelSolve, BitIdenticalUnderFaults) {
+  for (const auto& family : family_specs()) {
+    const auto plain = make_topology(family);
+    const auto faults =
+        FaultModel::random_cable_faults(plain->graph(), 0.05, 7);
+    const FaultAwareRouter routed(*plain, faults);
+    for (const std::string spec : {"unstructured-app", "sweep3d"}) {
+      // Dead links on a fault-oblivious topology: flows strand mid-run and
+      // the dirty-component closure must stay deterministic around them.
+      {
+        const TrafficProgram program = generate(*plain, spec);
+        check_thread_counts(*plain, program,
+                            family + " x " + spec + " (dead links)", {},
+                            &faults);
+      }
+      // Fault-aware detours make routes dynamic, so both caches sit out —
+      // the parallel path must tolerate uncacheable components.
+      {
+        const TrafficProgram program = generate(routed, spec);
+        check_thread_counts(routed, program,
+                            family + " x " + spec + " (fault-aware)", {},
+                            &faults);
+      }
+    }
+  }
+}
+
+/// Non-uniform weights disable the solve cache mid-engine; the parallel
+/// path must solve those components without cache coordination and still
+/// match the serial result.
+TEST(ParallelSolve, BitIdenticalWithWeightedFlows) {
+  const auto topo = make_topology("nestghc:64,2,2");
+  TrafficProgram program = generate(*topo, "unstructured-app");
+  for (FlowIndex f = 0; f < program.num_flows(); f += 3) {
+    program.set_flow_weight(f, 4.0);
+  }
+  check_thread_counts(*topo, program, "weighted unstructured-app");
+}
+
+/// The solve/route caches persist across run() calls on one engine; warm
+/// parallel runs must replay the cold run bit-for-bit and actually hit.
+TEST(ParallelSolve, WarmRunsReplayColdRunExactly) {
+  for (const std::string family : {"nestghc:64,2,2", "fattree:4,4"}) {
+    const auto topo = make_topology(family);
+    for (const std::string spec : {"sweep3d", "allreduce"}) {
+      const TrafficProgram program = generate(*topo, spec);
+      EngineOptions options;
+      options.adaptive_routing = false;
+      options.record_flow_times = true;
+      options.solver_threads = 4;
+      FlowEngine engine(*topo, options);
+      const SimResult cold = engine.run(program);
+      const std::string context = family + " x " + spec + " (threads=4)";
+      EXPECT_GT(cold.solve_cache_hits + cold.solve_cache_misses, 0u)
+          << context;
+      for (int warm = 0; warm < 2; ++warm) {
+        const SimResult again = engine.run(program);
+        expect_identical(cold, again, context + " warm");
+        EXPECT_EQ(again.route_cache_misses, 0u)
+            << context << ": warm runs must route entirely from cache";
+        EXPECT_EQ(again.solve_cache_misses, 0u)
+            << context << ": warm runs must solve entirely from cache";
+        EXPECT_GT(again.solve_cache_hits, 0u) << context;
+      }
+    }
+  }
+}
+
+/// solver_threads = 0 resolves to hardware concurrency and must behave like
+/// any other multi-threaded count (or the serial path on a 1-core host).
+TEST(ParallelSolve, AutoThreadCountMatchesSerial) {
+  const auto topo = make_topology("fattree:4,4");
+  const TrafficProgram program = generate(*topo, "sweep3d");
+  const SimResult serial = run_with(*topo, program, 1);
+  const SimResult autod = run_with(*topo, program, 0);
+  expect_identical(serial, autod, "fattree x sweep3d (auto threads)");
+}
+
+/// solver_threads > 1 without the incremental solver has nothing to
+/// parallelise (components only exist in incremental mode); the engine must
+/// fall back to the serial full-solve path rather than misbehave.
+TEST(ParallelSolve, ThreadsWithoutIncrementalSolverFallsBackToSerial) {
+  const auto topo = make_topology("torus:4x4x2");
+  const TrafficProgram program = generate(*topo, "unstructured-app");
+  EngineOptions off;
+  off.incremental_solver = false;
+  off.route_cache = false;
+  off.solve_cache = false;
+  const SimResult serial = run_with(*topo, program, 1, off);
+  const SimResult threaded = run_with(*topo, program, 8, off);
+  expect_identical_with_counters(serial, threaded,
+                                 "torus x unstructured-app (non-incremental)");
+}
+
+}  // namespace
+}  // namespace nestflow
