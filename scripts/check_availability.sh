@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Build the Monte Carlo availability campaign under ASan/UBSan and run the
+# CI smoke preset: 8 seeded fail/repair timelines on a small fat-tree, one
+# per recovery policy. A leak, a heap error, or a crash in the timeline /
+# recovery machinery fails this script; the numeric results are exercised,
+# not gated (tests/test_fault_timeline.cpp owns the semantics).
+#
+# Usage:
+#   scripts/check_availability.sh             # the smoke campaign
+#   scripts/check_availability.sh --seeds 64  # extra args go to the bench
+#
+# Shares the build-asan/ tree with check_sanitize.sh.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="$repo_root/build-asan"
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DNESTFLOW_SANITIZE=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
+  --target ext_availability
+
+mkdir -p "$repo_root/build/artifacts"
+for policy in strand reroute restart; do
+  echo "== availability smoke: policy $policy =="
+  ASAN_OPTIONS=halt_on_error=1:detect_leaks=1 \
+  UBSAN_OPTIONS=print_stacktrace=1 \
+    "$build_dir/bench/ext_availability" --smoke --policy "$policy" \
+    --csv "$repo_root/build/artifacts/ext_availability_smoke_$policy.csv" \
+    "$@"
+done
+echo "availability smoke finished; CSVs in build/artifacts/"

@@ -54,3 +54,13 @@ cmake --build "$build_dir" -j "$cores" --target perf_engine
   --git-sha "$git_sha" \
   --out "$repo_root/BENCH_engine_gate.json"
 echo "wrote $repo_root/BENCH_engine.json (gate: BENCH_engine_gate.json)"
+
+# Availability campaign summary: a modest reroute-policy Monte Carlo run on
+# the release build, so the tracked artifacts include a delivered-fraction
+# distribution alongside the perf trajectory. Untracked output only.
+cmake --build "$build_dir" -j "$cores" --target ext_availability
+mkdir -p "$repo_root/build/artifacts"
+"$build_dir/bench/ext_availability" --seeds 32 --policy reroute \
+  --csv "$repo_root/build/artifacts/ext_availability.csv" \
+  | tee "$repo_root/build/artifacts/ext_availability_summary.txt"
+echo "wrote build/artifacts/ext_availability.csv (+ _summary.txt)"

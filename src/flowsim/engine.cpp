@@ -12,6 +12,19 @@
 
 namespace nestflow {
 
+namespace {
+
+/// Min-heap order on release time. Deliberately no tie-break on the flow
+/// index: equal-time pops follow heap order, a deterministic function of
+/// the push sequence, and that pre-existing order is part of the engine's
+/// bit-exact regression surface.
+bool release_after(const std::pair<double, FlowIndex>& a,
+                   const std::pair<double, FlowIndex>& b) {
+  return a.first > b.first;
+}
+
+}  // namespace
+
 FlowEngine::FlowEngine(const Topology& topology, EngineOptions options)
     : topology_(topology),
       options_(options),
@@ -222,10 +235,10 @@ void FlowEngine::strand(FlowIndex f, SimResult& result) {
   cancel_descendants(f, result);
 }
 
-void FlowEngine::strand_active(FlowIndex f, SimResult& result) {
-  // Undo the link occupancy activate() charged; no bytes were delivered
-  // (the flow's rate was 0 from the moment it activated — rates are
-  // recomputed before any time elapses).
+void FlowEngine::detach_from_network(FlowIndex f) {
+  // Undo the link occupancy activate() charged. Bytes the flow moved before
+  // the teardown are not credited to this path: link_bytes_ counts payload
+  // against the path that finally delivers it (see complete()).
   const double weight = program_->flow(f).weight;
   for (const LinkId l : path_view(f)) {
     --link_active_count_[l];
@@ -235,6 +248,10 @@ void FlowEngine::strand_active(FlowIndex f, SimResult& result) {
     incidence_.note_stale(l);
   }
   recycle_path(f);
+}
+
+void FlowEngine::strand_active(FlowIndex f, SimResult& result) {
+  detach_from_network(f);
   strand(f, result);
 }
 
@@ -570,7 +587,91 @@ void FlowEngine::compact_link(LinkId l) {
       l, [this](FlowIndex f) { return state_[f] == FlowState::kActive; });
 }
 
+void FlowEngine::apply_due_fault_events(FaultDriver& driver, double now,
+                                        SimResult& result) {
+  // The same relative tolerance as release-time admission, so an event
+  // scripted exactly at a completion instant applies in the same iteration
+  // that lands there.
+  fault_changed_scratch_.clear();
+  const std::size_t applied =
+      driver.apply_due(now * (1.0 + 1e-12), fault_changed_scratch_);
+  if (applied == 0) return;
+  result.fault_events_applied += applied;
+  for (const auto& [link, factor] : fault_changed_scratch_) {
+    if (link >= link_capacity_.size()) {
+      throw std::out_of_range(
+          "FlowEngine: fault driver reported a link outside this topology");
+    }
+    // Write capacities directly instead of set_capacity_factor: dropping
+    // the solve cache on every timeline event would defeat it, and keys
+    // embed capacity bits, so stale entries can never match — and a repair
+    // restores the exact pre-fault bits, re-hitting the old entries.
+    const double capacity = link_base_capacity_[link] * factor;
+    if (capacity == link_capacity_[link]) continue;
+    link_capacity_[link] = capacity;
+    if (incremental_) mark_dirty(link);
+  }
+}
+
+bool FlowEngine::queue_retry(FlowIndex f, double now, SimResult& result) {
+  if (retry_count_[f] >= options_.max_retries) return false;
+  const double delay =
+      options_.retry_backoff_seconds * std::ldexp(1.0, retry_count_[f]);
+  ++retry_count_[f];
+  ++result.flow_retries;
+  state_[f] = FlowState::kPending;
+  release_queue_.emplace_back(now + delay, f);
+  std::push_heap(release_queue_.begin(), release_queue_.end(), release_after);
+  return true;
+}
+
+void FlowEngine::recover_flow(FlowIndex f, double now, SimResult& result) {
+  switch (options_.recovery_policy) {
+    case RecoveryPolicy::kStrand:
+      strand_active(f, result);
+      return;
+    case RecoveryPolicy::kReroute: {
+      detach_from_network(f);
+      const double left = remaining_[f];
+      if (!activate(f, result)) {
+        // No surviving path right now; the flow's progress cannot be parked
+        // (reroute keeps no retry schedule), so it strands.
+        strand(f, result);
+        return;
+      }
+      // activate() resets remaining to the full payload and restarts the
+      // pipeline fill; transferred bytes carry over, the fill (a new path)
+      // does not.
+      remaining_[f] = left;
+      for (const LinkId l : path_view(f)) {
+        if (link_capacity_[l] <= 0.0) {
+          // A fault-oblivious topology handed back the same dead route;
+          // tearing it down and re-activating forever would hang the run.
+          active_flows_.pop_back();  // activate() appended f just above
+          strand_active(f, result);
+          return;
+        }
+      }
+      ++result.recovered_flows;
+      return;
+    }
+    case RecoveryPolicy::kRestartBackoff:
+      detach_from_network(f);
+      if (!queue_retry(f, now, result)) strand(f, result);
+      return;
+  }
+}
+
 SimResult FlowEngine::run(const TrafficProgram& program) {
+  return run_impl(program, nullptr);
+}
+
+SimResult FlowEngine::run(const TrafficProgram& program, FaultDriver& faults) {
+  return run_impl(program, &faults);
+}
+
+SimResult FlowEngine::run_impl(const TrafficProgram& program,
+                               FaultDriver* driver) {
   program.validate(topology_.num_endpoints());
   const DependencyDag dag(program);
   program_ = &program;
@@ -579,6 +680,7 @@ SimResult FlowEngine::run(const TrafficProgram& program) {
   const std::uint32_t n = program.num_flows();
   state_.assign(n, FlowState::kPending);
   pending_parents_ = dag.pending_parents();
+  retry_count_.assign(n, 0);
   remaining_.assign(n, 0.0);
   latency_left_.assign(n, 0.0);
   rates_.assign(n, 0.0);
@@ -640,12 +742,25 @@ SimResult FlowEngine::run(const TrafficProgram& program) {
   const EngineContext ctx{this};
 
   release_queue_.clear();
-  const auto release_order = [](const std::pair<double, FlowIndex>& a,
-                                const std::pair<double, FlowIndex>& b) {
-    return a.first > b.first;  // min-heap on release time
-  };
+  // Timeline presence is frozen here: an exhausted driver (no events at
+  // all) must leave every code path — including the legacy strand
+  // enumeration order below — exactly as a driverless run, bit for bit.
+  const bool have_timeline =
+      driver != nullptr && std::isfinite(driver->next_event_time());
+  // The pre-timeline engine strands zero-rate flows in solver-enumeration
+  // order, which differs between the serial and partitioned component
+  // collectors. That order is part of the bit-exact regression surface, so
+  // it is kept whenever this run cannot observe recovery; timeline runs
+  // (and non-default policies) instead sort by flow index, which is what
+  // makes their results identical at every solver_threads count.
+  const bool legacy_strand_order =
+      options_.recovery_policy == RecoveryPolicy::kStrand && !have_timeline;
 
   for (;;) {
+    // Bring the fault state up to `now` before activating or solving:
+    // routing and rate allocation must agree on which links are up.
+    if (have_timeline) apply_due_fault_events(*driver, now, result);
+
     // Activate everything runnable; sync flows complete instantly and may
     // cascade more activations within the same pass. Flows whose release
     // time lies in the future are parked in the release queue.
@@ -657,7 +772,7 @@ SimResult FlowEngine::run(const TrafficProgram& program) {
           spec.release_seconds > 0.0) {
         release_queue_.emplace_back(spec.release_seconds, f);
         std::push_heap(release_queue_.begin(), release_queue_.end(),
-                       release_order);
+                       release_after);
         continue;
       }
       if (spec.is_sync) {
@@ -672,9 +787,15 @@ SimResult FlowEngine::run(const TrafficProgram& program) {
           }
         }
       } else if (!activate(f, result)) {
-        // No surviving path (dead endpoint or partition): graceful
-        // degradation instead of a routing crash or an engine hang.
-        strand(f, result);
+        // No surviving path (dead endpoint or partition). Under restart
+        // backoff the partition may heal — a repair event can precede the
+        // retry — so the flow waits out its backoff instead of stranding;
+        // otherwise graceful degradation instead of a routing crash or an
+        // engine hang.
+        if (options_.recovery_policy != RecoveryPolicy::kRestartBackoff ||
+            !queue_retry(f, now, result)) {
+          strand(f, result);
+        }
       }
     }
     ready.clear();
@@ -688,7 +809,7 @@ SimResult FlowEngine::run(const TrafficProgram& program) {
            release_queue_.front().first <= now * (1.0 + 1e-12)) {
       ready.push_back(release_queue_.front().second);
       std::pop_heap(release_queue_.begin(), release_queue_.end(),
-                    release_order);
+                    release_after);
       release_queue_.pop_back();
     }
     if (!ready.empty()) continue;
@@ -745,20 +866,29 @@ SimResult FlowEngine::run(const TrafficProgram& program) {
         incremental_ ? std::span<const FlowIndex>(affected_flows_)
                      : std::span<const FlowIndex>(active_flows_);
     // A rate of 0 means a dead (capacity-0) link sits on the flow's path —
-    // it could never finish. Strand such flows and re-solve: graceful
-    // degradation for callers that inject hard faults without a
-    // fault-aware router.
-    bool stranded_any = false;
+    // it could never finish as routed. Hand such flows to the recovery
+    // policy (strand / reroute / restart-backoff) and re-solve.
+    zero_rate_scratch_.clear();
     for (const FlowIndex f : solved) {
       if (rates_[f] <= 0.0 && remaining_[f] > 0.0) {
-        strand_active(f, result);
-        stranded_any = true;
+        zero_rate_scratch_.push_back(f);
       }
     }
-    if (stranded_any) {
+    if (!zero_rate_scratch_.empty()) {
+      if (!legacy_strand_order) {
+        std::sort(zero_rate_scratch_.begin(), zero_rate_scratch_.end());
+      }
+      // Pull them off the active list up front: every recovery outcome
+      // either leaves the list (strand, requeue) or re-enters it through
+      // activate() — processing first would leave rerouted flows listed
+      // twice.
       std::erase_if(active_flows_, [this](FlowIndex f) {
-        return state_[f] != FlowState::kActive;
+        return rates_[f] <= 0.0 && remaining_[f] > 0.0 &&
+               state_[f] == FlowState::kActive;
       });
+      for (const FlowIndex f : zero_rate_scratch_) {
+        recover_flow(f, now, result);
+      }
       continue;
     }
     if (options_.rate_quantum_rel > 0.0) {
@@ -777,6 +907,15 @@ SimResult FlowEngine::run(const TrafficProgram& program) {
     // Never step past the next arrival: it changes the rate allocation.
     if (!release_queue_.empty()) {
       dt = std::min(dt, std::max(0.0, release_queue_.front().first - now));
+    }
+    // Nor past the next fault event: capacities change there. Events due at
+    // `now` were applied at the top of the iteration, so the next one is
+    // strictly later and dt stays positive.
+    if (have_timeline) {
+      const double next_fault = driver->next_event_time();
+      if (std::isfinite(next_fault)) {
+        dt = std::min(dt, std::max(0.0, next_fault - now));
+      }
     }
     if (!std::isfinite(dt) || dt < 0.0) {
       throw std::logic_error("FlowEngine: non-finite event horizon");

@@ -27,6 +27,54 @@
 
 namespace nestflow {
 
+/// Engine-side interface to a dynamic fault scenario: failures and repairs
+/// delivered as simulation events, interleaved with flow completions by
+/// FlowEngine::run(program, driver). Implemented by the resilience layer
+/// (TimelineFaultDriver in resilience/fault_timeline.hpp), which owns the
+/// FaultModel/FaultAwareRouter side of the story; the engine only sees
+/// capacity changes. Defined here so flowsim does not depend on resilience
+/// (the library layering runs the other way).
+class FaultDriver {
+ public:
+  virtual ~FaultDriver() = default;
+  /// Time of the earliest unapplied event; +infinity when exhausted. The
+  /// engine never advances simulated time past this without first calling
+  /// apply_due.
+  [[nodiscard]] virtual double next_event_time() const = 0;
+  /// Applies every unapplied event with time <= `time` to the shared fault
+  /// state and appends each affected link's new absolute capacity factor
+  /// (in [0, 1] of nominal) to `changed_factors`. A link may appear more
+  /// than once (later entries win) and entries whose factor matches the
+  /// current capacity are fine — the engine dedups by value. Returns the
+  /// number of events applied.
+  virtual std::size_t apply_due(
+      double time,
+      std::vector<std::pair<LinkId, double>>& changed_factors) = 0;
+};
+
+/// What happens to a live flow whose path loses a link mid-run (its max-min
+/// rate drops to 0 because a fault event zeroed a link it crosses).
+enum class RecoveryPolicy : std::uint8_t {
+  /// Give up on the flow: it is torn out of the network and reported in
+  /// SimResult::stranded_flows, its DAG descendants cancelled. The
+  /// pre-timeline semantics, and the default.
+  kStrand,
+  /// Re-path the flow through the topology (pair with a FaultAwareRouter,
+  /// which routes over the surviving graph) keeping its remaining bytes:
+  /// transferred data survives the failure, only the tail re-flows on the
+  /// detour. Falls back to stranding when no surviving path exists — or
+  /// when the fresh route still crosses a dead link, which is what a
+  /// fault-oblivious topology returns (re-activating it forever would hang
+  /// the event loop).
+  kReroute,
+  /// Tear the flow down and requeue it from byte zero after an exponential
+  /// backoff: retry r (0-based) waits retry_backoff_seconds * 2^r, up to
+  /// max_retries attempts, then strands. Models application-level
+  /// retransmission; with repairs on the timeline a retry can land after
+  /// the fabric healed and complete on the native route.
+  kRestartBackoff,
+};
+
 struct EngineOptions {
   /// Completions within (1 + completion_batch_rel) of the earliest finish
   /// are folded into one event. 0 disables batching (exact event order).
@@ -107,6 +155,18 @@ struct EngineOptions {
   /// DESIGN.md §7 for the determinism argument and the sweep-level
   /// oversubscription arbitration.
   std::uint32_t solver_threads = 1;
+  /// Recovery for live flows hit by a mid-run fault event, and for
+  /// activations that find no surviving path while a timeline is running.
+  /// See RecoveryPolicy and DESIGN.md §8. Irrelevant (never consulted on
+  /// any path that can fire) without a fault driver or dead links.
+  RecoveryPolicy recovery_policy = RecoveryPolicy::kStrand;
+  /// Base delay of kRestartBackoff: retry r (0-based) is requeued
+  /// retry_backoff_seconds * 2^r after the failure. 0 retries immediately
+  /// (same simulated instant), which only helps when the fault is already
+  /// repaired; pair a positive backoff with repair events.
+  double retry_backoff_seconds = 0.0;
+  /// Attempts per flow before kRestartBackoff strands it.
+  std::uint32_t max_retries = 3;
 };
 
 struct SimResult {
@@ -155,6 +215,17 @@ struct SimResult {
   /// routes are not graph-shortest.
   std::int64_t reroute_extra_hops = 0;
 
+  // --- Dynamic fault timeline (run(program, driver); see DESIGN.md §8) ---
+  /// Fault/repair events the driver applied during the run. Events whose
+  /// time falls after the last flow finished are never applied.
+  std::uint64_t fault_events_applied = 0;
+  /// Live flows torn off a failed path and successfully re-activated on a
+  /// surviving route with their remaining bytes (RecoveryPolicy::kReroute).
+  std::uint64_t recovered_flows = 0;
+  /// Restart requeues under RecoveryPolicy::kRestartBackoff — mid-run
+  /// failures and activation-time no-path retries both count.
+  std::uint64_t flow_retries = 0;
+
   /// Payload actually delivered = total_bytes minus the bytes of stranded
   /// and cancelled flows (equals total_bytes on a healthy fabric).
   [[nodiscard]] double delivered_bytes() const noexcept {
@@ -172,6 +243,19 @@ class FlowEngine {
   /// Throws std::invalid_argument for malformed programs (bad endpoints,
   /// dependency cycles) and std::runtime_error if max_events is exceeded.
   [[nodiscard]] SimResult run(const TrafficProgram& program);
+
+  /// Runs the program under a dynamic fault timeline: the driver's fault
+  /// and repair events are applied at their scripted times, interleaved
+  /// with flow events (time never steps across an unapplied event), and
+  /// live flows that lose a path link are handled per
+  /// EngineOptions::recovery_policy. The driver's link ids must index this
+  /// engine's graph (std::out_of_range otherwise) and the engine mutates
+  /// its link capacities as events apply — call reset_capacity_factors()
+  /// (or re-apply a scenario) before reusing the engine.
+  /// With an exhausted driver (no events) this is bit-identical to
+  /// run(program).
+  [[nodiscard]] SimResult run(const TrafficProgram& program,
+                              FaultDriver& faults);
 
   /// Per-link delivered bytes from the most recent run (indexed by LinkId;
   /// includes NIC links). Valid until the next run() call.
@@ -225,6 +309,20 @@ class FlowEngine {
   /// Tears an *active* flow out of the network (a dead link on its path
   /// zeroed its rate), then strands it as above.
   void strand_active(FlowIndex f, SimResult& result);
+  /// Uncharges f's link occupancy and recycles its path — the teardown half
+  /// of strand_active, shared with the recovery paths (which re-activate or
+  /// requeue instead of stranding).
+  void detach_from_network(FlowIndex f);
+  /// Applies every driver event due at `now` and syncs the changed link
+  /// capacities (marking them dirty for the incremental solver).
+  void apply_due_fault_events(FaultDriver& driver, double now,
+                              SimResult& result);
+  /// Dispatches a zero-rate active flow (already pulled off active_flows_)
+  /// to the configured recovery policy.
+  void recover_flow(FlowIndex f, double now, SimResult& result);
+  /// Requeues f for a fresh activation attempt after its exponential
+  /// backoff; false when its retry budget is exhausted (caller strands).
+  [[nodiscard]] bool queue_retry(FlowIndex f, double now, SimResult& result);
   /// Cancels every kPending transitive DAG descendant of f.
   void cancel_descendants(FlowIndex f, SimResult& result);
   [[nodiscard]] std::span<const LinkId> path_view(FlowIndex f) const {
@@ -392,10 +490,18 @@ class FlowEngine {
 
   std::vector<FlowIndex> active_flows_;
   /// Dependency-free flows waiting for their release time, earliest first.
+  /// Restart-backoff retries park here too (at now + backoff).
   std::vector<std::pair<double, FlowIndex>> release_queue_;  // min-heap
   FairShareSolver<EngineContext> solver_;
   Path route_scratch_;
   std::vector<FlowIndex> cancel_stack_;  // scratch for cancel_descendants
+
+  // Dynamic-fault state (run(program, driver) only).
+  [[nodiscard]] SimResult run_impl(const TrafficProgram& program,
+                                   FaultDriver* driver);
+  std::vector<std::uint32_t> retry_count_;   // per flow, sized per run
+  std::vector<FlowIndex> zero_rate_scratch_;
+  std::vector<std::pair<LinkId, double>> fault_changed_scratch_;
 };
 
 }  // namespace nestflow

@@ -18,10 +18,17 @@
 // Scenarios are deterministic in (graph, parameters, seed): the random
 // generators draw from the same seeded Prng streams as the workloads, so a
 // degradation sweep is reproducible bit-for-bit.
+//
+// A FaultModel is no longer necessarily static: kill_* and repair_* may be
+// called mid-run by the engine's dynamic fault timeline (see
+// fault_timeline.hpp). Every state change bumps epoch(), which consumers
+// holding derived state (the FaultAwareRouter's connectivity audit and
+// reroute trees) use to invalidate lazily.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -51,6 +58,18 @@ class FaultModel {
   /// killing a degraded cable wins.
   void degrade_cable(LinkId link, double factor);
 
+  /// Revives the duplex cable containing `link` (both directions). A
+  /// previously recorded degradation factor survives the repair (the cable
+  /// comes back at its degraded capacity, not magically repaired to
+  /// nominal). Same id validation as kill_cable. Idempotent.
+  void repair_cable(LinkId link);
+
+  /// Revives a node and every transit cable incident to it — the repaired
+  /// board arrives with fresh cable connections, so cables that died with
+  /// the node (or independently, while it was down) come back too.
+  /// Idempotent: repairing an alive node is a no-op.
+  void repair_node(NodeId node);
+
   [[nodiscard]] bool empty() const noexcept {
     return num_dead_cables_ == 0 && num_dead_nodes_ == 0 &&
            num_degraded_cables_ == 0;
@@ -69,6 +88,20 @@ class FaultModel {
   }
   [[nodiscard]] std::uint32_t num_degraded_cables() const noexcept {
     return num_degraded_cables_;
+  }
+
+  /// Monotonic state-change counter: bumped by every kill/repair/degrade
+  /// call that actually changed something. Consumers caching derived state
+  /// (connectivity audits, reroute trees) compare epochs to invalidate.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Effective capacity factor of a transit link under this scenario:
+  /// 0 when dead, the degradation factor (1.0 = nominal) otherwise.
+  [[nodiscard]] double effective_factor(LinkId link) const {
+    if (link >= link_alive_.size()) {
+      throw std::out_of_range("FaultModel::effective_factor: bad transit link");
+    }
+    return link_alive_[link] == 0 ? 0.0 : degrade_factor_[link];
   }
 
   /// Per-transit-link / per-node alive masks (1 = alive), sized to the
@@ -90,16 +123,34 @@ class FaultModel {
 
   /// Seeded scenario: kills floor(kill_fraction * cables) random transit
   /// cables (at least one when kill_fraction > 0 and cables exist).
+  /// Delegates to random_cable_fault_count; the achieved count is
+  /// num_dead_cables() on the returned model.
   [[nodiscard]] static FaultModel random_cable_faults(const Graph& graph,
                                                       double kill_fraction,
                                                       std::uint64_t seed);
 
+  /// Seeded scenario: kills `requested` distinct random transit cables.
+  /// Over-asking is handled explicitly: the request is clamped to the
+  /// number of candidate cables (never loops, never silently misses), and
+  /// the achieved count is always num_dead_cables() == min(requested,
+  /// candidates). Sampling is without replacement, so duplicate picks
+  /// cannot occur.
+  [[nodiscard]] static FaultModel random_cable_fault_count(
+      const Graph& graph, std::uint64_t requested, std::uint64_t seed);
+
   /// Seeded scenario: kills floor(kill_fraction * endpoints) random
   /// endpoints (at least one when kill_fraction > 0), taking their incident
-  /// cables down with them.
+  /// cables down with them. Delegates to random_endpoint_fault_count.
   [[nodiscard]] static FaultModel random_endpoint_faults(const Graph& graph,
                                                          double kill_fraction,
                                                          std::uint64_t seed);
+
+  /// Seeded scenario killing exactly min(requested, endpoints) distinct
+  /// endpoints; the achieved count is num_dead_nodes(). Note the incident
+  /// cables of neighbouring dead endpoints can overlap — num_dead_cables()
+  /// reports the deduplicated cable toll, not a per-endpoint sum.
+  [[nodiscard]] static FaultModel random_endpoint_fault_count(
+      const Graph& graph, std::uint64_t requested, std::uint64_t seed);
 
  private:
   const Graph* graph_;
@@ -109,6 +160,7 @@ class FaultModel {
   std::uint32_t num_dead_cables_ = 0;
   std::uint32_t num_dead_nodes_ = 0;
   std::uint32_t num_degraded_cables_ = 0;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace nestflow

@@ -8,7 +8,10 @@ namespace nestflow {
 
 FaultAwareRouter::FaultAwareRouter(const Topology& inner,
                                    const FaultModel& faults)
-    : inner_(inner), faults_(faults), has_faults_(!faults.empty()) {
+    : inner_(inner),
+      faults_(faults),
+      has_faults_(!faults.empty()),
+      seen_epoch_(faults.epoch()) {
   if (&faults.graph() != &inner.graph()) {
     throw std::invalid_argument(
         "FaultAwareRouter: fault model was built over a different graph");
@@ -18,13 +21,31 @@ FaultAwareRouter::FaultAwareRouter(const Topology& inner,
                                          faults_.node_alive(), component_);
 }
 
-bool FaultAwareRouter::reachable(NodeId a, NodeId b) const noexcept {
+void FaultAwareRouter::refresh() const {
+  const std::uint64_t epoch = faults_.epoch();
+  if (epoch == seen_epoch_) return;
+  seen_epoch_ = epoch;
+  has_faults_ = !faults_.empty();
+  num_components_ = surviving_components(graph_, faults_.link_alive(),
+                                         faults_.node_alive(), component_);
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  tree_cache_.clear();
+}
+
+bool FaultAwareRouter::reachable(NodeId a, NodeId b) const {
+  refresh();
   if (!has_faults_) return true;
   if (a >= component_.size() || b >= component_.size()) return false;
   return component_[a] != kUnreachable && component_[a] == component_[b];
 }
 
-std::uint64_t FaultAwareRouter::stranded_endpoint_pairs() const noexcept {
+std::uint32_t FaultAwareRouter::num_surviving_components() const {
+  refresh();
+  return num_components_;
+}
+
+std::uint64_t FaultAwareRouter::stranded_endpoint_pairs() const {
+  refresh();
   const std::uint64_t endpoints = graph_.num_endpoints();
   const std::uint64_t total = endpoints * (endpoints - 1);
   if (!has_faults_) return 0;
@@ -101,6 +122,7 @@ bool FaultAwareRouter::reroute(std::uint32_t src, std::uint32_t dst,
 RouteOutcome FaultAwareRouter::try_route(std::uint32_t src, std::uint32_t dst,
                                          Path& path, const LinkLoads& loads,
                                          bool adaptive) const {
+  refresh();
   path.clear();
   if (!has_faults_) {
     // Straight to the inner routing function (not Topology::try_route,
@@ -160,6 +182,7 @@ void FaultAwareRouter::route_adaptive(std::uint32_t src, std::uint32_t dst,
 }
 
 std::string FaultAwareRouter::name() const {
+  refresh();
   if (!has_faults_) return inner_.name();
   return inner_.name() + "+faults(cables=" +
          std::to_string(faults_.num_dead_cables()) +

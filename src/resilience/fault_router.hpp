@@ -18,6 +18,14 @@
 // labelled so reachable()/try_route() classify src/dst pairs as reachable
 // or stranded in O(1), and stranded_endpoint_pairs() reports how much of
 // the traffic matrix a partition has cut off.
+//
+// The fault scenario may change mid-run (the engine's fault timeline calls
+// kill/repair on the shared FaultModel between solver rounds). The router
+// notices via FaultModel::epoch(): on the first query after a change it
+// rebuilds the audit and drops the reroute-tree cache. The refresh is not
+// synchronised against concurrent queries — mutation and routing must not
+// overlap, which holds in the engine because fault events are applied on
+// the main thread between activation passes, never during one.
 #pragma once
 
 #include <cstdint>
@@ -34,8 +42,9 @@ namespace nestflow {
 class FaultAwareRouter final : public Topology {
  public:
   /// Both `inner` and `faults` must outlive the router; `faults` must be
-  /// built over inner.graph() (checked) and must not change afterwards
-  /// (the audit and the reroute cache assume a static scenario).
+  /// built over inner.graph() (checked). The scenario may change afterwards
+  /// — the router refreshes its audit and reroute cache lazily whenever
+  /// faults.epoch() moves — but changes must not race with queries.
   FaultAwareRouter(const Topology& inner, const FaultModel& faults);
 
   [[nodiscard]] const Topology& inner() const noexcept { return inner_; }
@@ -64,15 +73,13 @@ class FaultAwareRouter final : public Topology {
   // --- Connectivity audit -------------------------------------------------
 
   /// True when both nodes are alive and in the same surviving component.
-  [[nodiscard]] bool reachable(NodeId a, NodeId b) const noexcept;
+  [[nodiscard]] bool reachable(NodeId a, NodeId b) const;
   /// Number of connected components of the surviving transit graph
   /// (1 = no partition; 0 = everything dead).
-  [[nodiscard]] std::uint32_t num_surviving_components() const noexcept {
-    return num_components_;
-  }
+  [[nodiscard]] std::uint32_t num_surviving_components() const;
   /// Ordered endpoint pairs (src != dst) with no surviving path — exactly
   /// the flows that will be reported stranded.
-  [[nodiscard]] std::uint64_t stranded_endpoint_pairs() const noexcept;
+  [[nodiscard]] std::uint64_t stranded_endpoint_pairs() const;
 
  private:
   /// Shortest-path tree towards one destination over the surviving graph.
@@ -82,6 +89,12 @@ class FaultAwareRouter final : public Topology {
     std::vector<LinkId> next_link;
     std::vector<std::uint32_t> dist;
   };
+
+  /// Rebuilds the audit and wipes the reroute cache when the fault model's
+  /// epoch has moved since the last query. Called at every public query
+  /// entry point; not thread-safe against concurrent queries (see the
+  /// class comment for the contract that makes this sound).
+  void refresh() const;
 
   [[nodiscard]] bool path_crosses_fault(const Path& path) const noexcept;
   /// Fetches (building and caching on miss) the reroute tree for `dst`.
@@ -93,11 +106,12 @@ class FaultAwareRouter final : public Topology {
 
   const Topology& inner_;
   const FaultModel& faults_;
-  bool has_faults_;
+  mutable bool has_faults_;
 
-  // Audit state (immutable after construction).
-  std::vector<std::uint32_t> component_;
-  std::uint32_t num_components_ = 0;
+  // Audit state, rebuilt by refresh() whenever the fault epoch moves.
+  mutable std::vector<std::uint32_t> component_;
+  mutable std::uint32_t num_components_ = 0;
+  mutable std::uint64_t seen_epoch_ = 0;
 
   // Reroute cache: dst node -> BFS tree. Bounded; wiped wholesale when full
   // (a fault sweep touches destinations in waves, so exact LRU buys little).

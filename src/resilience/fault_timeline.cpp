@@ -1,0 +1,199 @@
+#include "resilience/fault_timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "util/prng.hpp"
+
+namespace nestflow {
+
+namespace {
+
+/// Stream tag separating timeline draws from static-scenario fault draws
+/// (kFaultStream in fault_model.cpp) and workload draws on the same seed.
+constexpr std::uint64_t kTimelineStream = 0xfa0171;
+
+void check_time(double time, const char* what) {
+  if (!std::isfinite(time) || time < 0.0) {
+    throw std::invalid_argument(std::string("FaultTimeline::") + what +
+                                ": time must be finite and >= 0");
+  }
+}
+
+}  // namespace
+
+void FaultTimeline::add_event(double time, FaultEventKind kind,
+                              std::uint32_t id) {
+  if (sorted_ && !events_.empty() && time < events_.back().time) {
+    sorted_ = false;
+  }
+  events_.push_back(FaultEvent{time, kind, id});
+}
+
+void FaultTimeline::fail_cable(double time, LinkId link) {
+  check_time(time, "fail_cable");
+  add_event(time, FaultEventKind::kFailCable, link);
+}
+
+void FaultTimeline::fail_node(double time, NodeId node) {
+  check_time(time, "fail_node");
+  add_event(time, FaultEventKind::kFailNode, node);
+}
+
+void FaultTimeline::repair_cable(double time, LinkId link) {
+  check_time(time, "repair_cable");
+  add_event(time, FaultEventKind::kRepairCable, link);
+}
+
+void FaultTimeline::repair_node(double time, NodeId node) {
+  check_time(time, "repair_node");
+  add_event(time, FaultEventKind::kRepairNode, node);
+}
+
+const std::vector<FaultEvent>& FaultTimeline::events() const {
+  if (!sorted_) {
+    // Stable: events at the same instant keep their construction order,
+    // which is what makes a scripted same-time fail+repair deterministic.
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                       return a.time < b.time;
+                     });
+    sorted_ = true;
+  }
+  return events_;
+}
+
+FaultTimeline FaultTimeline::poisson(const Graph& graph,
+                                     const FaultProcessParams& params,
+                                     std::uint64_t seed) {
+  const auto check_param = [](double value, const char* name) {
+    if (!std::isfinite(value) || value < 0.0) {
+      throw std::invalid_argument(
+          std::string("FaultTimeline::poisson: ") + name +
+          " must be finite and >= 0");
+    }
+  };
+  check_param(params.horizon_seconds, "horizon_seconds");
+  check_param(params.cable_mtbf_seconds, "cable_mtbf_seconds");
+  check_param(params.endpoint_mtbf_seconds, "endpoint_mtbf_seconds");
+  check_param(params.mttr_seconds, "mttr_seconds");
+
+  FaultTimeline timeline;
+  // One id per cable: the lower-numbered direction of each duplex pair
+  // (the same victim space as FaultModel::random_cable_faults).
+  std::vector<LinkId> cables;
+  for (LinkId l = 0; l < graph.num_transit_links(); ++l) {
+    if (graph.link(l).reverse > l) cables.push_back(l);
+  }
+  const double cable_rate =
+      params.cable_mtbf_seconds > 0.0 && !cables.empty()
+          ? static_cast<double>(cables.size()) / params.cable_mtbf_seconds
+          : 0.0;
+  const double node_rate =
+      params.endpoint_mtbf_seconds > 0.0 && graph.num_endpoints() > 0
+          ? static_cast<double>(graph.num_endpoints()) /
+                params.endpoint_mtbf_seconds
+          : 0.0;
+  const double total_rate = cable_rate + node_rate;
+  if (total_rate <= 0.0 || params.horizon_seconds <= 0.0) return timeline;
+
+  Prng prng(seed, kTimelineStream);
+  double now = 0.0;
+  for (;;) {
+    now += prng.next_exponential(1.0 / total_rate);
+    if (now >= params.horizon_seconds) break;
+    // Victim class by rate share, then a uniform victim within the class.
+    // Failures of already-dead components are generated anyway (the
+    // superposed process does not track state); application is idempotent.
+    if (prng.next_double() * total_rate < cable_rate) {
+      const LinkId victim =
+          cables[prng.next_below(static_cast<std::uint64_t>(cables.size()))];
+      timeline.fail_cable(now, victim);
+      if (params.mttr_seconds > 0.0) {
+        timeline.repair_cable(now + prng.next_exponential(params.mttr_seconds),
+                              victim);
+      }
+    } else {
+      const auto victim = static_cast<NodeId>(
+          prng.next_below(static_cast<std::uint64_t>(graph.num_endpoints())));
+      timeline.fail_node(now, victim);
+      if (params.mttr_seconds > 0.0) {
+        timeline.repair_node(now + prng.next_exponential(params.mttr_seconds),
+                             victim);
+      }
+    }
+  }
+  return timeline;
+}
+
+TimelineFaultDriver::TimelineFaultDriver(const FaultTimeline& timeline,
+                                         FaultModel& faults)
+    : timeline_(&timeline), faults_(&faults) {}
+
+double TimelineFaultDriver::next_event_time() const {
+  const auto& events = timeline_->events();
+  if (next_ >= events.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return events[next_].time;
+}
+
+void TimelineFaultDriver::apply_event(
+    const FaultEvent& event,
+    std::vector<std::pair<LinkId, double>>& changed_factors) {
+  const Graph& graph = faults_->graph();
+  // Report every link the event governs at its *current* effective factor
+  // (after the mutation) — including links an idempotent no-op left
+  // untouched; the engine dedups by value. Cables are reported in both
+  // directions, dead/repaired endpoints with their NIC links.
+  const auto report_cable = [&](LinkId link) {
+    changed_factors.emplace_back(link, faults_->effective_factor(link));
+    const LinkId reverse = graph.link(link).reverse;
+    if (reverse != kInvalidLink) {
+      changed_factors.emplace_back(reverse, faults_->effective_factor(reverse));
+    }
+  };
+  const auto report_node = [&](NodeId node) {
+    for (const LinkId l : graph.out_links(node)) report_cable(l);
+    if (node < graph.num_endpoints()) {
+      const double factor = faults_->node_dead(node) ? 0.0 : 1.0;
+      changed_factors.emplace_back(graph.injection_link(node), factor);
+      changed_factors.emplace_back(graph.consumption_link(node), factor);
+    }
+  };
+  switch (event.kind) {
+    case FaultEventKind::kFailCable:
+      faults_->kill_cable(event.id);
+      report_cable(event.id);
+      break;
+    case FaultEventKind::kRepairCable:
+      faults_->repair_cable(event.id);
+      report_cable(event.id);
+      break;
+    case FaultEventKind::kFailNode:
+      faults_->kill_node(event.id);
+      report_node(event.id);
+      break;
+    case FaultEventKind::kRepairNode:
+      faults_->repair_node(event.id);
+      report_node(event.id);
+      break;
+  }
+}
+
+std::size_t TimelineFaultDriver::apply_due(
+    double time, std::vector<std::pair<LinkId, double>>& changed_factors) {
+  const auto& events = timeline_->events();
+  std::size_t applied = 0;
+  while (next_ < events.size() && events[next_].time <= time) {
+    apply_event(events[next_], changed_factors);
+    ++next_;
+    ++applied;
+  }
+  return applied;
+}
+
+}  // namespace nestflow

@@ -1,0 +1,143 @@
+// Dynamic fault timeline: failures and repairs as simulation events.
+//
+// A FaultTimeline is a time-ordered script of fault events — cables or
+// nodes dying and coming back — that the flow engine interleaves with flow
+// completions (see FlowEngine::run(program, timeline, faults)). It answers
+// the question the static FaultModel scenarios cannot: what happens to a
+// *running* workload when a spine cable dies at t = T and is repaired at
+// t = T + MTTR.
+//
+// Two construction modes share the one type:
+//
+//   * scripted — fail_cable/fail_node/repair_cable/repair_node at explicit
+//     times, for targeted experiments and regression tests;
+//   * generated — poisson() draws a seeded failure process over the whole
+//     fabric (per-cable and per-endpoint MTBF, exponential MTTR repairs),
+//     the building block of the Monte Carlo availability campaign
+//     (bench/ext_availability).
+//
+// Timelines are pure data: application happens inside the engine, against a
+// live FaultModel shared with the FaultAwareRouter, so routing and rate
+// allocation always agree on which parts of the fabric are up. Application
+// is idempotent per event (failing a dead cable or repairing an alive one
+// is a no-op), which makes overlapping generated fail/repair windows
+// well-defined: a component is down from its first unrepaired failure to
+// the first repair after it.
+//
+// Determinism: a timeline is a pure function of its construction calls, and
+// poisson() of (graph, params, seed) — identical seeds replay identical
+// event traces, bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "flowsim/engine.hpp"
+#include "graph/graph.hpp"
+#include "resilience/fault_model.hpp"
+
+namespace nestflow {
+
+enum class FaultEventKind : std::uint8_t {
+  kFailCable,    // kill the duplex cable containing link `id`
+  kFailNode,     // kill node `id` and its incident cables
+  kRepairCable,  // revive the duplex cable containing link `id`
+  kRepairNode,   // revive node `id` and its incident cables
+};
+
+struct FaultEvent {
+  double time = 0.0;  // simulation seconds
+  FaultEventKind kind = FaultEventKind::kFailCable;
+  std::uint32_t id = 0;  // LinkId for cable events, NodeId for node events
+};
+
+/// Parameters of the generated failure process (see poisson()). Rates are
+/// per *component*: a fabric with C cables and E endpoints fails at
+/// aggregate rate C / cable_mtbf + E / endpoint_mtbf_seconds.
+struct FaultProcessParams {
+  /// Failures are drawn in [0, horizon_seconds); repairs may land later
+  /// (they simply never apply if the simulation ends first).
+  double horizon_seconds = 0.0;
+  /// Per-cable mean time between failures; 0 disables cable failures.
+  double cable_mtbf_seconds = 0.0;
+  /// Per-endpoint mean time between failures; 0 disables node failures.
+  /// Only endpoints (QFDBs) fail — switch failures can be scripted.
+  double endpoint_mtbf_seconds = 0.0;
+  /// Mean time to repair (exponential); 0 means failures are permanent.
+  double mttr_seconds = 0.0;
+};
+
+class FaultTimeline {
+ public:
+  FaultTimeline() = default;
+
+  /// Scripted events. Times must be finite and >= 0 (std::invalid_argument
+  /// otherwise). Ids are validated at application time by the engine's
+  /// FaultModel, not here (a timeline is graph-agnostic data).
+  void fail_cable(double time, LinkId link);
+  void fail_node(double time, NodeId node);
+  void repair_cable(double time, LinkId link);
+  void repair_node(double time, NodeId node);
+
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t num_events() const noexcept {
+    return events_.size();
+  }
+
+  /// Events sorted by time; ties keep insertion order (stable), so a
+  /// scripted fail+repair at the same instant applies in script order.
+  [[nodiscard]] const std::vector<FaultEvent>& events() const;
+
+  /// Seeded Poisson failure process over the fabric: exponential
+  /// inter-failure times at the aggregate rate, victims drawn uniformly
+  /// (cables weighted against endpoints by their rate shares), each failure
+  /// followed by an exponential(mttr) repair of the same component.
+  /// Deterministic in (graph, params, seed). Throws std::invalid_argument
+  /// for non-finite or negative parameters.
+  [[nodiscard]] static FaultTimeline poisson(const Graph& graph,
+                                             const FaultProcessParams& params,
+                                             std::uint64_t seed);
+
+ private:
+  void add_event(double time, FaultEventKind kind, std::uint32_t id);
+
+  mutable std::vector<FaultEvent> events_;
+  mutable bool sorted_ = true;
+};
+
+/// Plays a FaultTimeline into a live FaultModel for the engine: the
+/// FaultDriver implementation FlowEngine::run(program, driver) consumes.
+/// Each applied event mutates `faults` (bumping its epoch, which refreshes
+/// any FaultAwareRouter sharing it) and reports the affected links' new
+/// capacity factors back to the engine, so routing and rate allocation stay
+/// in lockstep.
+///
+/// A driver is a single-use cursor over the timeline: construct a fresh one
+/// (and a fresh-state FaultModel) per run — or call reset() after also
+/// restoring the fault model — when replaying. Both referees must outlive
+/// the driver.
+class TimelineFaultDriver final : public FaultDriver {
+ public:
+  TimelineFaultDriver(const FaultTimeline& timeline, FaultModel& faults);
+
+  [[nodiscard]] double next_event_time() const override;
+  std::size_t apply_due(
+      double time,
+      std::vector<std::pair<LinkId, double>>& changed_factors) override;
+
+  /// Rewinds the cursor to the first event. The fault model is NOT rolled
+  /// back — the caller owns that state.
+  void reset() noexcept { next_ = 0; }
+
+ private:
+  /// Applies one event to the fault model and reports the links it governs.
+  void apply_event(const FaultEvent& event,
+                   std::vector<std::pair<LinkId, double>>& changed_factors);
+
+  const FaultTimeline* timeline_;
+  FaultModel* faults_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace nestflow

@@ -1,10 +1,36 @@
 #include "util/cli.hpp"
 
+#include <charconv>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 namespace nestflow {
+
+namespace {
+
+/// Strict whole-string numeric parse: the value must be entirely consumed
+/// and in range, otherwise a CliError names the offending flag. from_chars
+/// never consults the locale and rejects leading whitespace, so "  8",
+/// "8x" and "" all fail the same way everywhere.
+template <typename T>
+T parse_number(std::string_view flag, const std::string& text,
+               const char* what) {
+  T value{};
+  const char* const first = text.data();
+  const char* const last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec == std::errc::result_out_of_range) {
+    throw CliError(flag, std::string(what) + " out of range '" + text + "'");
+  }
+  if (ec != std::errc() || ptr != last) {
+    throw CliError(flag, std::string("malformed ") + what + " '" + text + "'");
+  }
+  return value;
+}
+
+}  // namespace
 
 CliParser::CliParser(std::string program_name, std::string description)
     : program_name_(std::move(program_name)),
@@ -113,25 +139,33 @@ std::string CliParser::get_string(std::string_view name) const {
 }
 
 std::int64_t CliParser::get_int(std::string_view name) const {
-  return std::stoll(get_string(name));
+  return parse_number<std::int64_t>(name, get_string(name), "integer");
 }
 
 std::uint64_t CliParser::get_uint(std::string_view name) const {
-  return std::stoull(get_string(name));
+  // from_chars on an unsigned type rejects "-1" outright, where stoull
+  // would silently wrap it to 18446744073709551615.
+  return parse_number<std::uint64_t>(name, get_string(name),
+                                     "unsigned integer");
 }
 
 double CliParser::get_double(std::string_view name) const {
-  return std::stod(get_string(name));
+  return parse_number<double>(name, get_string(name), "number");
 }
 
 bool CliParser::get_bool(std::string_view name) const {
   const std::string v = get_string(name);
-  return v == "true" || v == "1" || v == "yes" || v == "on";
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw CliError(name, "malformed boolean '" + v +
+                           "' (expected true/false, 1/0, yes/no, on/off)");
 }
 
 std::vector<std::int64_t> CliParser::get_int_list(std::string_view name) const {
   std::vector<std::int64_t> out;
-  for (const auto& tok : get_string_list(name)) out.push_back(std::stoll(tok));
+  for (const auto& tok : get_string_list(name)) {
+    out.push_back(parse_number<std::int64_t>(name, tok, "integer"));
+  }
   return out;
 }
 

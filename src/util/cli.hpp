@@ -3,17 +3,36 @@
 // Supports `--key value`, `--key=value` and boolean `--flag` forms, typed
 // accessors with defaults, and generates a usage string. Unknown arguments
 // are an error so typos in sweep scripts fail loudly instead of silently
-// running the default experiment.
+// running the default experiment, and the typed accessors parse strictly:
+// "4x4", "1e" or an out-of-range value raises a CliError naming the flag
+// instead of being silently truncated the way the std::stoll family would.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace nestflow {
+
+/// Structured accessor error: carries the offending flag's name so drivers
+/// can report "--seeds: malformed unsigned integer 'eight'" rather than a
+/// bare parse failure. what() contains the full message.
+class CliError : public std::runtime_error {
+ public:
+  CliError(std::string_view flag, const std::string& message)
+      : std::runtime_error("--" + std::string(flag) + ": " + message),
+        flag_(flag) {}
+
+  /// The flag the bad value was passed to, without the leading dashes.
+  [[nodiscard]] const std::string& flag() const noexcept { return flag_; }
+
+ private:
+  std::string flag_;
+};
 
 class CliParser {
  public:
@@ -36,12 +55,17 @@ class CliParser {
 
   [[nodiscard]] bool has(std::string_view name) const;
   [[nodiscard]] std::string get_string(std::string_view name) const;
+  /// Numeric accessors parse the WHOLE value strictly (std::from_chars):
+  /// trailing junk ("8x"), a bare sign, overflow, or — for get_uint — a
+  /// negative number all throw CliError naming the flag. get_double accepts
+  /// fixed and scientific notation ("2e-4") but not hex floats.
   [[nodiscard]] std::int64_t get_int(std::string_view name) const;
   [[nodiscard]] std::uint64_t get_uint(std::string_view name) const;
   [[nodiscard]] double get_double(std::string_view name) const;
+  /// Accepts true/false, 1/0, yes/no, on/off; anything else is a CliError.
   [[nodiscard]] bool get_bool(std::string_view name) const;
 
-  /// Comma-separated list of integers, e.g. "2,4,8".
+  /// Comma-separated list of integers, e.g. "2,4,8" (strict per element).
   [[nodiscard]] std::vector<std::int64_t> get_int_list(
       std::string_view name) const;
   /// Comma-separated list of strings.

@@ -115,6 +115,100 @@ TEST(Cli, UsageMentionsEveryOption) {
   }
 }
 
+// --- Strict numeric parsing: malformed values raise CliError naming the
+// --- flag instead of silently truncating (std::stoll-style) or wrapping.
+
+/// Parses `value` into the given option and returns the CliError a strict
+/// getter raises for it (failing the test if none is raised).
+template <typename Getter>
+CliError expect_cli_error(const char* option, const char* value,
+                          Getter getter) {
+  auto cli = make_parser();
+  const std::string arg = std::string("--") + option + "=" + value;
+  const char* argv[] = {"prog", arg.c_str()};
+  EXPECT_TRUE(cli.parse(2, argv)) << arg;
+  try {
+    getter(cli);
+  } catch (const CliError& err) {
+    return err;
+  }
+  ADD_FAILURE() << arg << ": expected CliError";
+  return CliError("", "unreached");
+}
+
+TEST(Cli, MalformedIntegerNamesTheFlag) {
+  const CliError err = expect_cli_error(
+      "nodes", "8x", [](const CliParser& c) { (void)c.get_int("nodes"); });
+  EXPECT_EQ(err.flag(), "nodes");
+  EXPECT_NE(std::string(err.what()).find("--nodes"), std::string::npos);
+  EXPECT_NE(std::string(err.what()).find("8x"), std::string::npos);
+  for (const char* bad : {"", "-", "+", "4,2", "1e3", "0x10"}) {
+    expect_cli_error("nodes", bad,
+                     [](const CliParser& c) { (void)c.get_int("nodes"); });
+  }
+}
+
+TEST(Cli, IntegerOverflowIsOutOfRange) {
+  const CliError err = expect_cli_error(
+      "nodes", "99999999999999999999999",
+      [](const CliParser& c) { (void)c.get_int("nodes"); });
+  EXPECT_NE(std::string(err.what()).find("out of range"), std::string::npos);
+}
+
+TEST(Cli, UnsignedRejectsNegativesInsteadOfWrapping) {
+  // std::stoull would happily wrap "-1" to 2^64 - 1; the strict parser
+  // refuses it.
+  const CliError err = expect_cli_error(
+      "nodes", "-1", [](const CliParser& c) { (void)c.get_uint("nodes"); });
+  EXPECT_EQ(err.flag(), "nodes");
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--nodes=42"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EQ(cli.get_uint("nodes"), 42u);
+}
+
+TEST(Cli, MalformedDoubleNamesTheFlag) {
+  for (const char* bad : {"half", "1.5x", "", "1.2.3"}) {
+    const CliError err = expect_cli_error(
+        "ratio", bad, [](const CliParser& c) { (void)c.get_double("ratio"); });
+    EXPECT_EQ(err.flag(), "ratio");
+  }
+  // Scientific notation stays accepted — defaults like "2e-4" rely on it.
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--ratio=2e-4"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio"), 2e-4);
+}
+
+TEST(Cli, MalformedBooleanRejected) {
+  const CliError err = expect_cli_error(
+      "verbose", "maybe",
+      [](const CliParser& c) { (void)c.get_bool("verbose"); });
+  EXPECT_EQ(err.flag(), "verbose");
+  for (const char* yes : {"true", "1", "yes", "on"}) {
+    auto cli = make_parser();
+    const std::string arg = std::string("--verbose=") + yes;
+    const char* argv[] = {"prog", arg.c_str()};
+    ASSERT_TRUE(cli.parse(2, argv)) << arg;
+    EXPECT_TRUE(cli.get_bool("verbose")) << arg;
+  }
+  for (const char* no : {"false", "0", "no", "off"}) {
+    auto cli = make_parser();
+    const std::string arg = std::string("--verbose=") + no;
+    const char* argv[] = {"prog", arg.c_str()};
+    ASSERT_TRUE(cli.parse(2, argv)) << arg;
+    EXPECT_FALSE(cli.get_bool("verbose")) << arg;
+  }
+}
+
+TEST(Cli, BadListElementNamesTheFlag) {
+  const CliError err = expect_cli_error(
+      "list", "1,two,3",
+      [](const CliParser& c) { (void)c.get_int_list("list"); });
+  EXPECT_EQ(err.flag(), "list");
+  EXPECT_NE(std::string(err.what()).find("two"), std::string::npos);
+}
+
 TEST(Cli, UndeclaredQueryThrows) {
   auto cli = make_parser();
   const char* argv[] = {"prog"};

@@ -1,0 +1,435 @@
+// Tests for the dynamic fault timeline: scripted and generated (Poisson)
+// event traces, mid-run failure/repair application through the engine,
+// recovery policies, router epoch refresh, and the empty-timeline ⇔
+// baseline bit-identity contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "flowsim/engine.hpp"
+#include "resilience/fault_model.hpp"
+#include "resilience/fault_router.hpp"
+#include "resilience/fault_timeline.hpp"
+#include "topo/factory.hpp"
+#include "topo/torus.hpp"
+#include "workloads/factory.hpp"
+
+namespace nestflow {
+namespace {
+
+constexpr double kBps = kDefaultLinkBps;
+
+// --- Timeline data type --------------------------------------------------
+
+TEST(FaultTimeline, EventsSortByTimeKeepingScriptOrderOnTies) {
+  FaultTimeline timeline;
+  timeline.fail_cable(2.0, 7);
+  timeline.fail_node(1.0, 3);
+  timeline.repair_cable(2.0, 7);  // same instant as the first event
+  timeline.repair_node(0.5, 3);
+
+  ASSERT_EQ(timeline.num_events(), 4u);
+  const auto& events = timeline.events();
+  EXPECT_EQ(events[0].time, 0.5);
+  EXPECT_EQ(events[1].time, 1.0);
+  // Ties keep insertion order: fail before repair at t = 2.
+  EXPECT_EQ(events[2].kind, FaultEventKind::kFailCable);
+  EXPECT_EQ(events[3].kind, FaultEventKind::kRepairCable);
+}
+
+TEST(FaultTimeline, RejectsBadTimes) {
+  FaultTimeline timeline;
+  EXPECT_THROW(timeline.fail_cable(-1.0, 0), std::invalid_argument);
+  EXPECT_THROW(timeline.fail_node(std::nan(""), 0), std::invalid_argument);
+  EXPECT_THROW(
+      timeline.repair_cable(std::numeric_limits<double>::infinity(), 0),
+      std::invalid_argument);
+  EXPECT_TRUE(timeline.empty());
+}
+
+TEST(FaultTimeline, PoissonIsDeterministicInSeed) {
+  const TorusTopology torus({4, 4});
+  FaultProcessParams params;
+  params.horizon_seconds = 100.0;
+  params.cable_mtbf_seconds = 500.0;
+  params.endpoint_mtbf_seconds = 2000.0;
+  params.mttr_seconds = 10.0;
+
+  const auto a = FaultTimeline::poisson(torus.graph(), params, 42);
+  const auto b = FaultTimeline::poisson(torus.graph(), params, 42);
+  ASSERT_EQ(a.num_events(), b.num_events());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.num_events(); ++i) {
+    EXPECT_EQ(a.events()[i].time, b.events()[i].time);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].id, b.events()[i].id);
+  }
+
+  // A different seed draws a different trace (times are continuous, so a
+  // collision would be astronomically unlikely).
+  const auto c = FaultTimeline::poisson(torus.graph(), params, 43);
+  bool differs = c.num_events() != a.num_events();
+  for (std::size_t i = 0; !differs && i < a.num_events(); ++i) {
+    differs = a.events()[i].time != c.events()[i].time;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultTimeline, PoissonPairsFailuresWithRepairs) {
+  const TorusTopology torus({4, 4});
+  FaultProcessParams params;
+  params.horizon_seconds = 200.0;
+  params.cable_mtbf_seconds = 400.0;
+  params.mttr_seconds = 5.0;
+
+  const auto timeline = FaultTimeline::poisson(torus.graph(), params, 1);
+  ASSERT_FALSE(timeline.empty());
+  std::size_t failures = 0;
+  std::size_t repairs = 0;
+  for (const auto& event : timeline.events()) {
+    if (event.kind == FaultEventKind::kFailCable) {
+      EXPECT_LT(event.time, params.horizon_seconds);
+      ++failures;
+    } else {
+      EXPECT_EQ(event.kind, FaultEventKind::kRepairCable);
+      ++repairs;  // repairs may land past the horizon
+    }
+  }
+  EXPECT_EQ(failures, repairs);
+
+  // mttr = 0 means permanent failures: no repair events at all.
+  params.mttr_seconds = 0.0;
+  const auto permanent = FaultTimeline::poisson(torus.graph(), params, 1);
+  for (const auto& event : permanent.events()) {
+    EXPECT_EQ(event.kind, FaultEventKind::kFailCable);
+  }
+}
+
+TEST(FaultTimeline, PoissonValidatesAndHandlesZeroRates) {
+  const TorusTopology torus({4, 4});
+  FaultProcessParams params;  // all-zero: no process at all
+  EXPECT_TRUE(FaultTimeline::poisson(torus.graph(), params, 1).empty());
+  params.horizon_seconds = 10.0;
+  EXPECT_TRUE(FaultTimeline::poisson(torus.graph(), params, 1).empty());
+  params.cable_mtbf_seconds = -1.0;
+  EXPECT_THROW(FaultTimeline::poisson(torus.graph(), params, 1),
+               std::invalid_argument);
+}
+
+// --- FaultModel repairs and epochs ---------------------------------------
+
+TEST(FaultTimeline, RepairRevivesCableAndBumpsEpoch) {
+  const TorusTopology ring({8});
+  FaultModel faults(ring.graph());
+  const LinkId cable = ring.graph().find_link(0, 1);
+  const std::uint64_t e0 = faults.epoch();
+
+  faults.kill_cable(cable);
+  EXPECT_GT(faults.epoch(), e0);
+  EXPECT_TRUE(faults.link_dead(cable));
+  EXPECT_TRUE(faults.link_dead(ring.graph().link(cable).reverse));
+
+  const std::uint64_t e1 = faults.epoch();
+  faults.repair_cable(cable);
+  EXPECT_GT(faults.epoch(), e1);
+  EXPECT_FALSE(faults.link_dead(cable));
+  EXPECT_FALSE(faults.link_dead(ring.graph().link(cable).reverse));
+  EXPECT_EQ(faults.num_dead_cables(), 0u);
+
+  // Idempotent repairs do not move the epoch (nothing changed).
+  const std::uint64_t e2 = faults.epoch();
+  faults.repair_cable(cable);
+  EXPECT_EQ(faults.epoch(), e2);
+
+  // A degradation factor survives kill + repair: the cable comes back at
+  // its degraded capacity.
+  faults.degrade_cable(cable, 0.5);
+  faults.kill_cable(cable);
+  EXPECT_EQ(faults.effective_factor(cable), 0.0);
+  faults.repair_cable(cable);
+  EXPECT_EQ(faults.effective_factor(cable), 0.5);
+}
+
+TEST(FaultTimeline, RepairNodeRevivesIncidentCables) {
+  const TorusTopology ring({8});
+  FaultModel faults(ring.graph());
+  faults.kill_node(3);
+  EXPECT_EQ(faults.num_dead_nodes(), 1u);
+  EXPECT_EQ(faults.num_dead_cables(), 2u);  // 2<->3 and 3<->4
+
+  faults.repair_node(3);
+  EXPECT_EQ(faults.num_dead_nodes(), 0u);
+  EXPECT_EQ(faults.num_dead_cables(), 0u);
+  EXPECT_TRUE(faults.empty());
+  EXPECT_THROW(faults.repair_node(999999), std::out_of_range);
+  EXPECT_THROW(faults.repair_cable(ring.graph().injection_link(0)),
+               std::invalid_argument);
+}
+
+TEST(FaultTimeline, RouterRefreshesOnEpochChange) {
+  const TorusTopology ring({8});
+  FaultModel faults(ring.graph());
+  const FaultAwareRouter router(ring, faults);
+  EXPECT_TRUE(router.reachable(0, 4));
+  EXPECT_EQ(router.num_surviving_components(), 1u);
+
+  // Partition {1..4} | {5..0} under the router's feet.
+  faults.kill_cable(ring.graph().find_link(0, 1));
+  faults.kill_cable(ring.graph().find_link(4, 5));
+  EXPECT_EQ(router.num_surviving_components(), 2u);
+  EXPECT_FALSE(router.reachable(0, 1));
+  EXPECT_TRUE(router.reachable(1, 4));
+
+  // And heal it again.
+  faults.repair_cable(ring.graph().find_link(0, 1));
+  faults.repair_cable(ring.graph().find_link(4, 5));
+  EXPECT_EQ(router.num_surviving_components(), 1u);
+  EXPECT_TRUE(router.reachable(0, 1));
+  EXPECT_EQ(router.stranded_endpoint_pairs(), 0u);
+}
+
+// --- Engine integration --------------------------------------------------
+
+TEST(FaultTimeline, EmptyTimelineIsBitIdenticalToBaseline) {
+  // The contract the whole determinism story rests on: a driver with no
+  // events must not perturb a single bit of the result — across topology
+  // families and a non-trivial workload.
+  const std::vector<std::string> specs = {"torus:4x4x2", "fattree:4,4",
+                                          "dragonfly:2,4,2"};
+  for (const auto& spec : specs) {
+    const auto topology = make_topology(spec);
+    WorkloadContext context;
+    context.num_tasks = topology->num_endpoints();
+    context.seed = 5;
+    const auto program = make_workload("unstructured-app")->generate(context);
+
+    EngineOptions options;
+    options.record_flow_times = true;
+    FlowEngine baseline_engine(*topology, options);
+    const SimResult a = baseline_engine.run(program);
+
+    const FaultTimeline empty;
+    FaultModel faults(topology->graph());
+    TimelineFaultDriver driver(empty, faults);
+    FlowEngine timeline_engine(*topology, options);
+    const SimResult b = timeline_engine.run(program, driver);
+
+    EXPECT_EQ(a.makespan, b.makespan) << spec;
+    EXPECT_EQ(a.events, b.events) << spec;
+    EXPECT_EQ(a.solver_rounds, b.solver_rounds) << spec;
+    EXPECT_EQ(a.solve_cache_hits, b.solve_cache_hits) << spec;
+    EXPECT_EQ(a.solve_cache_misses, b.solve_cache_misses) << spec;
+    EXPECT_EQ(a.route_cache_hits, b.route_cache_hits) << spec;
+    EXPECT_EQ(a.route_cache_misses, b.route_cache_misses) << spec;
+    EXPECT_EQ(b.fault_events_applied, 0u) << spec;
+    EXPECT_EQ(b.recovered_flows, 0u) << spec;
+    EXPECT_EQ(b.flow_retries, 0u) << spec;
+    ASSERT_EQ(a.flow_finish_times.size(), b.flow_finish_times.size()) << spec;
+    for (std::size_t i = 0; i < a.flow_finish_times.size(); ++i) {
+      EXPECT_EQ(a.flow_finish_times[i], b.flow_finish_times[i]) << spec;
+    }
+  }
+}
+
+TEST(FaultTimeline, MidRunFailureStrandsUnderDefaultPolicy) {
+  // One flow, one hop, cable dies halfway through: under kStrand the flow
+  // is abandoned at the failure instant.
+  const TorusTopology ring({8});
+  FaultTimeline timeline;
+  timeline.fail_cable(0.5, ring.graph().find_link(1, 0));
+
+  FaultModel faults(ring.graph());
+  TimelineFaultDriver driver(timeline, faults);
+  FlowEngine engine(ring);
+  TrafficProgram program;
+  program.add_flow(1, 0, kBps);  // 1 second at full rate
+
+  const SimResult result = engine.run(program, driver);
+  EXPECT_EQ(result.fault_events_applied, 1u);
+  EXPECT_EQ(result.stranded_flows, 1u);
+  EXPECT_EQ(result.recovered_flows, 0u);
+  EXPECT_DOUBLE_EQ(result.undelivered_bytes, kBps);
+  EXPECT_NEAR(result.makespan, 0.5, 1e-9);
+  engine.reset_capacity_factors();  // the run mutated link capacities
+}
+
+TEST(FaultTimeline, MidRunFailureReroutesKeepingRemainingBytes) {
+  // Same failure under kReroute with a fault-aware router: the flow keeps
+  // its transferred half and finishes the rest over the 7-hop detour at
+  // full rate — total time still 1 s in the pure bandwidth model.
+  const TorusTopology ring({8});
+  FaultModel faults(ring.graph());
+  const FaultAwareRouter router(ring, faults);
+  FaultTimeline timeline;
+  timeline.fail_cable(0.5, ring.graph().find_link(1, 0));
+  TimelineFaultDriver driver(timeline, faults);
+
+  EngineOptions options;
+  options.recovery_policy = RecoveryPolicy::kReroute;
+  FlowEngine engine(router, options);
+  TrafficProgram program;
+  program.add_flow(1, 0, kBps);
+
+  const SimResult result = engine.run(program, driver);
+  EXPECT_EQ(result.fault_events_applied, 1u);
+  EXPECT_EQ(result.stranded_flows, 0u);
+  EXPECT_EQ(result.recovered_flows, 1u);
+  EXPECT_EQ(result.rerouted_flows, 1u);
+  EXPECT_DOUBLE_EQ(result.undelivered_bytes, 0.0);
+  EXPECT_NEAR(result.makespan, 1.0, 1e-9);
+}
+
+TEST(FaultTimeline, RerouteFallsBackToStrandWithoutSurvivingPath) {
+  // kReroute on a fault-OBLIVIOUS topology: the fresh route crosses the
+  // same dead cable, which must strand (not hang the event loop).
+  const TorusTopology ring({8});
+  FaultTimeline timeline;
+  timeline.fail_cable(0.25, ring.graph().find_link(1, 0));
+  FaultModel faults(ring.graph());
+  TimelineFaultDriver driver(timeline, faults);
+
+  EngineOptions options;
+  options.recovery_policy = RecoveryPolicy::kReroute;
+  options.max_events = 100000;  // a hang would throw instead of stalling
+  FlowEngine engine(ring, options);
+  TrafficProgram program;
+  program.add_flow(1, 0, kBps);
+
+  const SimResult result = engine.run(program, driver);
+  EXPECT_EQ(result.stranded_flows, 1u);
+  EXPECT_EQ(result.recovered_flows, 0u);
+  EXPECT_NEAR(result.makespan, 0.25, 1e-9);
+}
+
+TEST(FaultTimeline, RestartBackoffRetriesAfterRepair) {
+  // Fail at 0.3, repair at 0.6. The restart policy tears the flow down at
+  // 0.3, requeues it at 0.3 + 0.4 backoff = 0.7 — after the repair — and
+  // the retry completes on the healed native route: 0.7 + 1.0 = 1.7 s.
+  const TorusTopology ring({8});
+  const LinkId cable = ring.graph().find_link(1, 0);
+  FaultTimeline timeline;
+  timeline.fail_cable(0.3, cable);
+  timeline.repair_cable(0.6, cable);
+  FaultModel faults(ring.graph());
+  TimelineFaultDriver driver(timeline, faults);
+
+  EngineOptions options;
+  options.recovery_policy = RecoveryPolicy::kRestartBackoff;
+  options.retry_backoff_seconds = 0.4;
+  options.max_retries = 3;
+  FlowEngine engine(ring, options);
+  TrafficProgram program;
+  program.add_flow(1, 0, kBps);
+
+  const SimResult result = engine.run(program, driver);
+  EXPECT_EQ(result.fault_events_applied, 2u);
+  EXPECT_EQ(result.flow_retries, 1u);
+  EXPECT_EQ(result.stranded_flows, 0u);
+  EXPECT_DOUBLE_EQ(result.undelivered_bytes, 0.0);
+  EXPECT_NEAR(result.makespan, 1.7, 1e-9);
+}
+
+TEST(FaultTimeline, RestartBackoffExhaustsRetriesAndStrands) {
+  // Permanent failure: each retry re-lands on the dead native route, burns
+  // one attempt, and after max_retries the flow strands.
+  const TorusTopology ring({8});
+  FaultTimeline timeline;
+  timeline.fail_cable(0.5, ring.graph().find_link(1, 0));
+  FaultModel faults(ring.graph());
+  TimelineFaultDriver driver(timeline, faults);
+
+  EngineOptions options;
+  options.recovery_policy = RecoveryPolicy::kRestartBackoff;
+  options.retry_backoff_seconds = 0.1;
+  options.max_retries = 2;
+  options.max_events = 100000;
+  FlowEngine engine(ring, options);
+  TrafficProgram program;
+  program.add_flow(1, 0, kBps);
+
+  const SimResult result = engine.run(program, driver);
+  EXPECT_EQ(result.flow_retries, 2u);
+  EXPECT_EQ(result.stranded_flows, 1u);
+  EXPECT_DOUBLE_EQ(result.undelivered_bytes, kBps);
+}
+
+TEST(FaultTimeline, RepairRestoresFullCapacityForLaterFlows) {
+  // A cable that fails and heals before the second flow's release: the
+  // late flow must see nominal capacity (and the solve cache may re-hit
+  // entries recorded before the failure).
+  const TorusTopology ring({8});
+  const LinkId cable = ring.graph().find_link(0, 1);
+  FaultTimeline timeline;
+  timeline.fail_cable(1.5, cable);
+  timeline.repair_cable(2.0, cable);
+  FaultModel faults(ring.graph());
+  TimelineFaultDriver driver(timeline, faults);
+
+  FlowEngine engine(ring);
+  TrafficProgram program;
+  program.add_flow(0, 1, kBps);                   // done at t = 1
+  program.add_flow(0, 1, kBps, /*release=*/3.0);  // after the repair
+  const SimResult result = engine.run(program, driver);
+  EXPECT_EQ(result.fault_events_applied, 2u);
+  EXPECT_EQ(result.stranded_flows, 0u);
+  EXPECT_NEAR(result.makespan, 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(result.delivered_bytes(), result.total_bytes);
+}
+
+TEST(FaultTimeline, GeneratedTimelineRunsAreReproducible) {
+  // End to end: a Poisson timeline over a fat-tree with reroute recovery,
+  // run twice from scratch, must agree on every counter — the property the
+  // Monte Carlo availability campaign (bench/ext_availability) rests on.
+  const auto run_once = [](std::uint64_t seed) {
+    const auto topology = make_topology("fattree:4,4");
+    WorkloadContext context;
+    context.num_tasks = topology->num_endpoints();
+    context.seed = 9;
+    const auto program = make_workload("nearneighbors")->generate(context);
+
+    // Calibrate the failure window to the healthy makespan so events land
+    // mid-run (expected ~6 cable + ~2 endpoint failures).
+    double healthy = 0.0;
+    {
+      FlowEngine engine(*topology);
+      healthy = engine.run(program).makespan;
+    }
+    double cables = 0.0;
+    for (LinkId l = 0; l < topology->graph().num_transit_links(); ++l) {
+      if (topology->graph().link(l).reverse > l) cables += 1.0;
+    }
+    FaultProcessParams params;
+    params.horizon_seconds = healthy;
+    params.cable_mtbf_seconds = cables * healthy / 6.0;
+    params.endpoint_mtbf_seconds =
+        topology->num_endpoints() * healthy / 2.0;
+    params.mttr_seconds = healthy / 4.0;
+    const auto timeline =
+        FaultTimeline::poisson(topology->graph(), params, seed);
+
+    FaultModel faults(topology->graph());
+    const FaultAwareRouter router(*topology, faults);
+    TimelineFaultDriver driver(timeline, faults);
+
+    EngineOptions options;
+    options.recovery_policy = RecoveryPolicy::kReroute;
+    options.adaptive_routing = false;
+    options.max_events = 1'000'000;
+    FlowEngine engine(router, options);
+    return engine.run(program, driver);
+  };
+
+  const SimResult a = run_once(17);
+  const SimResult b = run_once(17);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.fault_events_applied, b.fault_events_applied);
+  EXPECT_EQ(a.stranded_flows, b.stranded_flows);
+  EXPECT_EQ(a.recovered_flows, b.recovered_flows);
+  EXPECT_EQ(a.undelivered_bytes, b.undelivered_bytes);
+  EXPECT_GT(a.fault_events_applied, 0u);
+}
+
+}  // namespace
+}  // namespace nestflow

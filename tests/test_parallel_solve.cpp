@@ -17,6 +17,7 @@
 #include "flowsim/engine.hpp"
 #include "resilience/fault_model.hpp"
 #include "resilience/fault_router.hpp"
+#include "resilience/fault_timeline.hpp"
 #include "topo/factory.hpp"
 #include "util/prng.hpp"
 #include "workloads/factory.hpp"
@@ -67,6 +68,9 @@ void expect_identical(const SimResult& a, const SimResult& b,
   EXPECT_EQ(a.rerouted_flows, b.rerouted_flows) << context;
   EXPECT_EQ(a.reroute_extra_hops, b.reroute_extra_hops) << context;
   EXPECT_EQ(a.undelivered_bytes, b.undelivered_bytes) << context;
+  EXPECT_EQ(a.fault_events_applied, b.fault_events_applied) << context;
+  EXPECT_EQ(a.recovered_flows, b.recovered_flows) << context;
+  EXPECT_EQ(a.flow_retries, b.flow_retries) << context;
   for (std::size_t c = 0; c < a.bytes_by_class.size(); ++c) {
     EXPECT_EQ(a.bytes_by_class[c], b.bytes_by_class[c]) << context;
   }
@@ -248,6 +252,79 @@ TEST(ParallelSolve, AutoThreadCountMatchesSerial) {
   const SimResult serial = run_with(*topo, program, 1);
   const SimResult autod = run_with(*topo, program, 0);
   expect_identical(serial, autod, "fattree x sweep3d (auto threads)");
+}
+
+/// A dynamic fault timeline stresses every determinism mechanism at once:
+/// fault events interleaved with completions, mid-run capacity edits on the
+/// incremental solver's dirty tracking, and recovery-order enumeration. Each
+/// policy, at every thread count, must replay the serial run bit for bit —
+/// fresh FaultModel/driver/engine per run because a timeline run mutates all
+/// three.
+TEST(ParallelSolve, TimelineRunsBitIdenticalAcrossThreadCounts) {
+  struct PolicyCase {
+    RecoveryPolicy policy;
+    const char* name;
+    bool fault_aware;  // wrap the topology in a FaultAwareRouter
+  };
+  const PolicyCase cases[] = {
+      {RecoveryPolicy::kStrand, "strand", false},
+      {RecoveryPolicy::kReroute, "reroute", true},
+      {RecoveryPolicy::kRestartBackoff, "restart", false},
+  };
+  for (const auto& family : family_specs()) {
+    const auto topo = make_topology(family);
+    const TrafficProgram program = generate(*topo, "unstructured-app");
+    // The healthy makespan calibrates the failure process so that several
+    // fail/repair events land inside the run, not after it.
+    const double healthy = run_with(*topo, program, 1).makespan;
+    const double num_cables = topo->graph().num_transit_links() / 2.0;
+    FaultProcessParams params;
+    params.horizon_seconds = healthy;
+    params.cable_mtbf_seconds = num_cables * healthy / 4.0;  // ~4 failures
+    params.endpoint_mtbf_seconds =
+        topo->num_endpoints() * healthy / 2.0;  // ~2 failures
+    params.mttr_seconds = healthy / 4.0;
+    const FaultTimeline timeline = FaultTimeline::poisson(
+        topo->graph(), params, hash_combine(99, std::hash<std::string>{}(family)));
+    ASSERT_FALSE(timeline.empty()) << family;
+
+    for (const auto& pc : cases) {
+      std::optional<SimResult> serial;
+      std::optional<SimResult> parallel_reference;
+      for (const auto threads : kThreadCounts) {
+        FaultModel faults(topo->graph());
+        std::optional<FaultAwareRouter> router;
+        if (pc.fault_aware) router.emplace(*topo, faults);
+        TimelineFaultDriver driver(timeline, faults);
+        EngineOptions options;
+        options.adaptive_routing = false;
+        options.record_flow_times = true;
+        options.solver_threads = threads;
+        options.recovery_policy = pc.policy;
+        options.retry_backoff_seconds = healthy / 8.0;
+        options.max_retries = 2;
+        const Topology& net = pc.fault_aware
+                                  ? static_cast<const Topology&>(*router)
+                                  : *topo;
+        FlowEngine engine(net, options);
+        const SimResult result = engine.run(program, driver);
+        const std::string where = family + " [" + pc.name +
+                                  "] @ solver_threads=" +
+                                  std::to_string(threads);
+        if (!serial) {
+          EXPECT_GT(result.fault_events_applied, 0u) << where;
+          serial = result;
+          continue;
+        }
+        expect_identical(*serial, result, where);
+        if (!parallel_reference) {
+          parallel_reference = result;
+        } else {
+          expect_identical_with_counters(*parallel_reference, result, where);
+        }
+      }
+    }
+  }
 }
 
 /// solver_threads > 1 without the incremental solver has nothing to

@@ -287,6 +287,64 @@ TEST(Resilience, FaultModelValidatesInputs) {
   EXPECT_EQ(faults.num_dead_nodes(), 1u);
 }
 
+TEST(Resilience, RandomCableFaultCountClampsAndNeverDoubleCounts) {
+  const TorusTopology ring({8});  // 8 duplex cables, 8 endpoints
+  const Graph& g = ring.graph();
+
+  // Exact request: achieved count == requested (sampling is without
+  // replacement, so duplicate picks cannot shrink it).
+  const auto three = FaultModel::random_cable_fault_count(g, 3, 7);
+  EXPECT_EQ(three.num_dead_cables(), 3u);
+
+  // Over-asking clamps to the candidate count instead of looping or
+  // under-reporting: a ring has only 8 cables to kill.
+  const auto all = FaultModel::random_cable_fault_count(g, 1000, 7);
+  EXPECT_EQ(all.num_dead_cables(), 8u);
+
+  // Zero request is a healthy scenario.
+  EXPECT_TRUE(FaultModel::random_cable_fault_count(g, 0, 7).empty());
+
+  // Determinism: one seed, one victim set.
+  const auto again = FaultModel::random_cable_fault_count(g, 3, 7);
+  for (LinkId l = 0; l < g.num_transit_links(); ++l) {
+    EXPECT_EQ(three.link_dead(l), again.link_dead(l));
+  }
+}
+
+TEST(Resilience, RandomEndpointFaultCountClampsAndReportsAchieved) {
+  const TorusTopology ring({8});
+  const Graph& g = ring.graph();
+
+  const auto two = FaultModel::random_endpoint_fault_count(g, 2, 11);
+  EXPECT_EQ(two.num_dead_nodes(), 2u);
+
+  // Over-ask: only 8 endpoints exist; the achieved count says so. Their
+  // incident cables overlap, so the cable toll is deduplicated (a ring's 8
+  // cables die once each, not twice).
+  const auto all = FaultModel::random_endpoint_fault_count(g, 99, 11);
+  EXPECT_EQ(all.num_dead_nodes(), 8u);
+  EXPECT_EQ(all.num_dead_cables(), 8u);
+
+  EXPECT_TRUE(FaultModel::random_endpoint_fault_count(g, 0, 11).empty());
+}
+
+TEST(Resilience, RandomFractionsDelegateToCounts) {
+  const TorusTopology ring({8});
+  const Graph& g = ring.graph();
+  // floor(0.25 * 8) = 2 cables; the fraction wrapper must agree with the
+  // count form bit-for-bit (same seed stream, same victims).
+  const auto by_fraction = FaultModel::random_cable_faults(g, 0.25, 3);
+  const auto by_count = FaultModel::random_cable_fault_count(g, 2, 3);
+  EXPECT_EQ(by_fraction.num_dead_cables(), 2u);
+  for (LinkId l = 0; l < g.num_transit_links(); ++l) {
+    EXPECT_EQ(by_fraction.link_dead(l), by_count.link_dead(l));
+  }
+  // A tiny positive fraction still kills at least one component.
+  EXPECT_EQ(FaultModel::random_cable_faults(g, 1e-9, 3).num_dead_cables(), 1u);
+  EXPECT_EQ(FaultModel::random_endpoint_faults(g, 1e-9, 3).num_dead_nodes(),
+            1u);
+}
+
 TEST(Resilience, EveryTopologyRunsAllWorkloadsUnderFivePercentKill) {
   // Acceptance sweep: 5% of cables dead; every factory topology must run
   // every workload to completion with consistent accounting — no crash, no
