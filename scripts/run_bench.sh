@@ -55,6 +55,20 @@ cmake --build "$build_dir" -j "$cores" --target perf_engine
   --out "$repo_root/BENCH_engine_gate.json"
 echo "wrote $repo_root/BENCH_engine.json (gate: BENCH_engine_gate.json)"
 
+# Extended chaos sweep: four full coverage matrices (924 seeds) of
+# differential runs under the invariant auditor, on the release build.
+# Report-only — the short 231-seed matrix gates in CI under ASan
+# (scripts/check_chaos.sh); this longer sweep surfaces rarer samplings
+# (jellyfish substitutions, deeper fault timelines) without blocking the
+# bench on them.
+cmake --build "$build_dir" -j "$cores" --target fuzz_engine
+if "$build_dir/bench/fuzz_engine" --seed-start 0 --seeds 924; then
+  echo "chaos sweep: clean"
+else
+  echo "chaos sweep: FAILURES above (report-only; reproduce with the" \
+    "printed --config lines)"
+fi
+
 # Availability campaign summary: a modest reroute-policy Monte Carlo run on
 # the release build, so the tracked artifacts include a delivered-fraction
 # distribution alongside the perf trajectory. Untracked output only.

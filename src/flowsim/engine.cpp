@@ -1,5 +1,7 @@
 #include "flowsim/engine.hpp"
 
+#include "flowsim/audit.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <bit>
@@ -92,6 +94,17 @@ void FlowEngine::set_capacity_factor(LinkId link, double factor) {
 void FlowEngine::reset_capacity_factors() {
   link_capacity_ = link_base_capacity_;
   drop_solve_cache();
+}
+
+EngineError::Snapshot FlowEngine::loop_snapshot(std::uint64_t events,
+                                                double now) const noexcept {
+  EngineError::Snapshot snapshot;
+  snapshot.events = events;
+  snapshot.sim_time = now;
+  snapshot.active_flows = active_flows_.size();
+  snapshot.pending_flows = release_queue_.size();
+  snapshot.last_event = last_event_;
+  return snapshot;
 }
 
 void FlowEngine::drop_solve_cache() {
@@ -195,6 +208,7 @@ bool FlowEngine::activate(FlowIndex f, SimResult& result) {
 void FlowEngine::complete(FlowIndex f, double now,
                           std::vector<FlowIndex>& ready) {
   state_[f] = FlowState::kDone;
+  last_event_ = "completion";
   // A completed flow delivered exactly its payload across every link of its
   // path; accounting once here is equivalent to (and much cheaper than)
   // accumulating rate*dt per event.
@@ -245,7 +259,12 @@ void FlowEngine::detach_from_network(FlowIndex f) {
     link_weight_sum_[l] =
         link_active_count_[l] == 0 ? 0.0 : link_weight_sum_[l] - weight;
     if (incremental_) mark_dirty(l);
-    incidence_.note_stale(l);
+    // Eager removal, not note_stale: a detached flow may re-activate on a
+    // DIFFERENT path (reroute, restart retry), and the solver's staleness
+    // filter — "is the flow active?" — would then wrongly freeze it at
+    // shares of links it no longer crosses (found by the chaos harness's
+    // max-min optimality oracle, see src/verify/).
+    incidence_.remove(l, f);
   }
   recycle_path(f);
 }
@@ -597,6 +616,7 @@ void FlowEngine::apply_due_fault_events(FaultDriver& driver, double now,
       driver.apply_due(now * (1.0 + 1e-12), fault_changed_scratch_);
   if (applied == 0) return;
   result.fault_events_applied += applied;
+  last_event_ = "fault";
   for (const auto& [link, factor] : fault_changed_scratch_) {
     if (link >= link_capacity_.size()) {
       throw std::out_of_range(
@@ -626,6 +646,7 @@ bool FlowEngine::queue_retry(FlowIndex f, double now, SimResult& result) {
 }
 
 void FlowEngine::recover_flow(FlowIndex f, double now, SimResult& result) {
+  last_event_ = "recovery";
   switch (options_.recovery_policy) {
     case RecoveryPolicy::kStrand:
       strand_active(f, result);
@@ -741,6 +762,16 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
   double weighted_active = 0.0;
   const EngineContext ctx{this};
 
+  last_event_ = "start";
+  // Consecutive events with frozen time and no state change; see the
+  // kLivelock watchdog at the bottom of the loop.
+  std::uint64_t zero_progress_events = 0;
+  const bool auditing =
+      auditor_ != nullptr && options_.audit_level != AuditLevel::kOff;
+  const bool audit_events =
+      auditing && options_.audit_level == AuditLevel::kPerEvent;
+  if (auditing) auditor_->on_run_start(AuditView(*this, now, 0.0, 0));
+
   release_queue_.clear();
   // Timeline presence is frozen here: an exhausted driver (no events at
   // all) must leave every code path — including the legacy strand
@@ -767,6 +798,7 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
     for (std::size_t i = 0; i < ready.size(); ++i) {
       const FlowIndex f = ready[i];
       if (state_[f] != FlowState::kPending) continue;  // cancelled meanwhile
+      last_event_ = "activation";
       const FlowSpec& spec = program.flow(f);
       if (spec.release_seconds > now * (1.0 + 1e-12) &&
           spec.release_seconds > 0.0) {
@@ -865,6 +897,19 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
     const std::span<const FlowIndex> solved =
         incremental_ ? std::span<const FlowIndex>(affected_flows_)
                      : std::span<const FlowIndex>(active_flows_);
+    // Quantise BEFORE the zero-rate recovery scan below: its `continue`
+    // restarts the loop, and solved-but-skipped flows would otherwise keep
+    // raw rates that only a full (non-incremental) re-solve would ever
+    // re-quantise — the incremental path would then diverge from the naive
+    // one on the next event (found by the chaos harness, see src/verify/).
+    if (options_.rate_quantum_rel > 0.0) {
+      const double log_step = std::log1p(options_.rate_quantum_rel);
+      for (const FlowIndex f : solved) {
+        const double r = rates_[f];
+        if (r <= 0.0) continue;  // dead-link flows: keep 0 for recovery
+        rates_[f] = std::exp(std::floor(std::log(r) / log_step) * log_step);
+      }
+    }
     // A rate of 0 means a dead (capacity-0) link sits on the flow's path —
     // it could never finish as routed. Hand such flows to the recovery
     // policy (strand / reroute / restart-backoff) and re-solve.
@@ -891,13 +936,6 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
       }
       continue;
     }
-    if (options_.rate_quantum_rel > 0.0) {
-      const double log_step = std::log1p(options_.rate_quantum_rel);
-      for (const FlowIndex f : solved) {
-        const double r = rates_[f];
-        rates_[f] = std::exp(std::floor(std::log(r) / log_step) * log_step);
-      }
-    }
 
     double dt = std::numeric_limits<double>::infinity();
     for (const FlowIndex f : active_flows_) {
@@ -918,12 +956,18 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
       }
     }
     if (!std::isfinite(dt) || dt < 0.0) {
-      throw std::logic_error("FlowEngine: non-finite event horizon");
+      throw EngineError(EngineError::Kind::kNonFiniteHorizon,
+                        loop_snapshot(result.events, now));
     }
 
     ++result.events;
     if (options_.max_events != 0 && result.events > options_.max_events) {
-      throw std::runtime_error("FlowEngine: max_events exceeded");
+      throw EngineError(EngineError::Kind::kMaxEventsExceeded,
+                        loop_snapshot(result.events, now));
+    }
+
+    if (audit_events) {
+      auditor_->on_event(AuditView(*this, now, dt, result.events));
     }
 
     const double threshold = dt * (1.0 + options_.completion_batch_rel);
@@ -933,6 +977,7 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
         result.peak_active_flows,
         static_cast<std::uint32_t>(active_flows_.size()));
 
+    const std::size_t active_before = active_flows_.size();
     for (const FlowIndex f : active_flows_) {
       // Pipeline fill overlaps the transfer: done when both have elapsed.
       if (std::max(latency_left_[f], remaining_[f] / rates_[f]) <= threshold) {
@@ -947,12 +992,24 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
     std::erase_if(active_flows_, [this](FlowIndex f) {
       return state_[f] != FlowState::kActive;
     });
+
+    // Watchdog: an event that advanced neither simulated time nor any flow's
+    // lifecycle is only legal as a transient (e.g. a zero-dt arrival step).
+    // A long unbroken run of them means the loop will never drain.
+    if (dt > 0.0 || !ready.empty() ||
+        active_flows_.size() != active_before) {
+      zero_progress_events = 0;
+    } else if (++zero_progress_events > kMaxZeroProgressEvents) {
+      throw EngineError(EngineError::Kind::kLivelock,
+                        loop_snapshot(result.events, now));
+    }
   }
 
   for (FlowIndex f = 0; f < n; ++f) {
     if (state_[f] != FlowState::kDone &&
         state_[f] != FlowState::kCancelled) {
-      throw std::logic_error("FlowEngine: flow never completed");
+      throw EngineError(EngineError::Kind::kFlowNeverCompleted,
+                        loop_snapshot(result.events, now));
     }
   }
 
@@ -973,6 +1030,11 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
   if (options_.record_flow_times) {
     result.flow_finish_times = std::move(flow_finish_times_scratch_);
     flow_finish_times_scratch_.clear();
+  }
+
+  // program_ is still set here: the end-of-run view may read flow specs.
+  if (auditing) {
+    auditor_->on_run_end(AuditView(*this, now, 0.0, result.events), result);
   }
 
   program_ = nullptr;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "flowsim/dag.hpp"
+#include "flowsim/engine_error.hpp"
 #include "flowsim/flow.hpp"
 #include "flowsim/incidence.hpp"
 #include "flowsim/maxmin.hpp"
@@ -26,6 +27,9 @@
 #include "util/thread_pool.hpp"
 
 namespace nestflow {
+
+class AuditView;
+class FlowAuditor;
 
 /// Engine-side interface to a dynamic fault scenario: failures and repairs
 /// delivered as simulation events, interleaved with flow completions by
@@ -75,6 +79,16 @@ enum class RecoveryPolicy : std::uint8_t {
   kRestartBackoff,
 };
 
+/// How often an attached FlowAuditor (see flowsim/audit.hpp and the
+/// InvariantAuditor in src/verify/) is consulted. kOff leaves every audit
+/// branch cold — a run with kOff and no auditor attached is bit-identical
+/// to the pre-audit engine.
+enum class AuditLevel : std::uint8_t {
+  kOff,       // never consult the auditor
+  kPerRun,    // on_run_start + on_run_end only (cheap end-state oracles)
+  kPerEvent,  // additionally on_event after every rate solve (full oracles)
+};
+
 struct EngineOptions {
   /// Completions within (1 + completion_batch_rel) of the earliest finish
   /// are folded into one event. 0 disables batching (exact event order).
@@ -89,8 +103,13 @@ struct EngineOptions {
   double rate_quantum_rel = 0.0;
   /// Record per-flow finish times into SimResult::flow_finish_times.
   bool record_flow_times = false;
-  /// Abort (std::runtime_error) after this many events; 0 = unlimited.
+  /// Abort with EngineError (kind kMaxEventsExceeded, carrying an event/
+  /// time/active-flow snapshot; derives from std::runtime_error) after this
+  /// many events; 0 = unlimited.
   std::uint64_t max_events = 0;
+  /// Frequency of invariant-auditor callbacks; no effect unless an auditor
+  /// is attached with set_auditor(). See AuditLevel.
+  AuditLevel audit_level = AuditLevel::kOff;
   /// Route flows with Topology::route_adaptive at activation time (the
   /// flow-level analogue of ECMP/adaptive routing: fat-tree tiers pick the
   /// least-loaded up-ports). Disable to force the fully deterministic
@@ -263,6 +282,21 @@ class FlowEngine {
     return link_bytes_;
   }
 
+  /// Attaches (or, with nullptr, detaches) an invariant auditor. The
+  /// auditor is consulted per EngineOptions::audit_level during run(); it
+  /// observes engine state through a read-only AuditView and may throw to
+  /// abort the run (the engine does not catch). The auditor must outlive
+  /// any run() it is attached for. Audit callbacks happen on the caller's
+  /// thread only, never on solver-pool workers.
+  void set_auditor(FlowAuditor* auditor) noexcept { auditor_ = auditor; }
+
+  /// Consecutive zero-progress events (simulated time frozen AND no flow
+  /// changed state) the event loop tolerates before throwing EngineError
+  /// (kind kLivelock). Generously above any legitimate same-instant event
+  /// cascade (release-time admissions, scripted same-time fault bursts),
+  /// which resolve in a handful of iterations.
+  static constexpr std::uint64_t kMaxZeroProgressEvents = 100000;
+
   /// Degrades a link to `factor` of its nominal capacity (fault-injection
   /// support — the paper's future work on fault tolerance). factor must be
   /// finite and in [0, 1]; 0 marks a dead link. Flows that end up with a
@@ -277,6 +311,9 @@ class FlowEngine {
   void reset_capacity_factors();
 
  private:
+  /// Read-only window the auditor looks through (defined in audit.hpp).
+  friend class AuditView;
+
   enum class FlowState : std::uint8_t { kPending, kActive, kDone, kCancelled };
 
   /// Solver context over the engine's structure-of-arrays state.
@@ -502,6 +539,16 @@ class FlowEngine {
   std::vector<std::uint32_t> retry_count_;   // per flow, sized per run
   std::vector<FlowIndex> zero_rate_scratch_;
   std::vector<std::pair<LinkId, double>> fault_changed_scratch_;
+
+  // Invariant auditing (EngineOptions::audit_level + set_auditor). The
+  // audit state is only read when an auditor is attached; last_event_ is a
+  // pointer store per loop phase, cheap enough to maintain unconditionally
+  // so EngineError snapshots are always populated.
+  FlowAuditor* auditor_ = nullptr;
+  const char* last_event_ = "start";
+
+  [[nodiscard]] EngineError::Snapshot loop_snapshot(std::uint64_t events,
+                                                    double now) const noexcept;
 };
 
 }  // namespace nestflow

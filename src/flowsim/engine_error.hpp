@@ -1,0 +1,80 @@
+// Structured failure type for the flow-engine event loop.
+//
+// The engine used to abort with a bare std::runtime_error("max_events
+// exceeded"), which told a campaign driver nothing about *where* the run
+// died. EngineError carries a diagnostic snapshot of the loop state at the
+// moment of failure — event count, simulated time, live-flow census, what
+// kind of event last fired — so a chaos-harness reproducer or an
+// availability campaign can log a single self-describing line instead of
+// re-running under a debugger. It still derives from std::runtime_error, so
+// every existing catch site (and EXPECT_THROW in the tests) keeps working.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace nestflow {
+
+class EngineError : public std::runtime_error {
+ public:
+  enum class Kind : std::uint8_t {
+    /// EngineOptions::max_events was exceeded.
+    kMaxEventsExceeded,
+    /// The computed time step was NaN/negative/infinite — a solver or
+    /// accounting bug upstream (was std::logic_error before).
+    kNonFiniteHorizon,
+    /// The event loop drained but some flow is neither done nor cancelled —
+    /// a dependency-accounting bug (was std::logic_error before).
+    kFlowNeverCompleted,
+    /// The loop spun kMaxZeroProgressEvents consecutive events without
+    /// simulated time advancing or any flow changing state — the watchdog
+    /// that turns a silent hang into a diagnosable failure.
+    kLivelock,
+  };
+
+  /// Snapshot of the event loop at the point of failure.
+  struct Snapshot {
+    std::uint64_t events = 0;       // completion rounds executed so far
+    double sim_time = 0.0;          // simulated seconds reached
+    std::uint64_t active_flows = 0; // flows holding network resources
+    std::uint64_t pending_flows = 0;// flows parked in the release queue
+    /// Human-readable tag of the most recent loop activity ("activation",
+    /// "completion", "fault", "recovery", "start").
+    const char* last_event = "start";
+  };
+
+  EngineError(Kind kind, const Snapshot& snapshot)
+      : std::runtime_error(format(kind, snapshot)),
+        kind_(kind),
+        snapshot_(snapshot) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] const Snapshot& snapshot() const noexcept { return snapshot_; }
+
+  [[nodiscard]] static const char* kind_name(Kind kind) noexcept {
+    switch (kind) {
+      case Kind::kMaxEventsExceeded: return "max_events exceeded";
+      case Kind::kNonFiniteHorizon: return "non-finite event horizon";
+      case Kind::kFlowNeverCompleted: return "flow never completed";
+      case Kind::kLivelock: return "livelock (no progress)";
+    }
+    return "unknown";
+  }
+
+ private:
+  [[nodiscard]] static std::string format(Kind kind,
+                                          const Snapshot& snapshot) {
+    return std::string("FlowEngine: ") + kind_name(kind) +
+           " [events=" + std::to_string(snapshot.events) +
+           " sim_time=" + std::to_string(snapshot.sim_time) +
+           " active=" + std::to_string(snapshot.active_flows) +
+           " pending=" + std::to_string(snapshot.pending_flows) +
+           " last_event=" + snapshot.last_event + "]";
+  }
+
+  Kind kind_;
+  Snapshot snapshot_;
+};
+
+}  // namespace nestflow

@@ -74,8 +74,26 @@ class LinkFlowIncidence {
     return {slots_.data() + e.offset, e.size};
   }
 
-  /// Records that one of l's entries went inactive (lazy removal).
+  /// Records that one of l's entries went inactive (lazy removal). Only
+  /// valid for flows that stay inactive: readers filter stale entries with
+  /// an activity predicate, which cannot tell "done" from "moved to another
+  /// path". A flow that may become active again elsewhere (reroute, restart
+  /// retry) must be remove()d eagerly instead.
   void note_stale(LinkId l) { ++extents_[l].stale; }
+
+  /// Eagerly drops every occurrence of f from l's list, preserving survivor
+  /// order. O(list length); used on the rare recovery detach path (see
+  /// note_stale).
+  void remove(LinkId l, FlowIndex f) {
+    Extent& e = extents_[l];
+    FlowIndex* const begin = slots_.data() + e.offset;
+    FlowIndex* out = begin;
+    for (std::uint32_t i = 0; i < e.size; ++i) {
+      if (begin[i] != f) *out++ = begin[i];
+    }
+    e.size = static_cast<std::uint32_t>(out - begin);
+    e.stale = std::min(e.stale, e.size);
+  }
 
   /// True once stale entries dominate l's list enough to be worth dropping.
   [[nodiscard]] bool should_compact(LinkId l) const {

@@ -115,6 +115,11 @@ std::vector<std::uint32_t> balanced_ghc_dims(std::uint64_t num_servers,
 GhcTopology::GhcTopology(std::vector<std::uint32_t> dims, double link_bps) {
   GraphBuilder builder;
   const std::uint64_t num_servers = dims_product(dims);
+  if (num_servers < 2) {
+    throw std::invalid_argument(
+        "GhcTopology: needs at least 2 endpoints, got dims with product " +
+        std::to_string(num_servers));
+  }
   const NodeId first = builder.add_nodes(
       NodeKind::kEndpoint, static_cast<std::uint32_t>(num_servers));
   std::vector<NodeId> servers(num_servers);

@@ -124,6 +124,13 @@ std::uint32_t torus_dor_distance(const GridShape& shape,
 
 TorusTopology::TorusTopology(std::vector<std::uint32_t> dims, double link_bps)
     : shape_(std::move(dims)) {
+  if (shape_.size() < 2) {
+    // A single endpoint has no cables (wire_torus skips dims < 2): nothing
+    // to route or simulate. Individual dims of 1 (e.g. 2x2x1) stay legal.
+    throw std::invalid_argument(
+        "TorusTopology: needs at least 2 endpoints, got dims with product " +
+        std::to_string(shape_.size()));
+  }
   GraphBuilder builder;
   builder.add_nodes(NodeKind::kEndpoint, shape_.size());
   wire_torus(builder, 0, shape_, link_bps, LinkClass::kTorus);

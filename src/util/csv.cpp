@@ -1,7 +1,9 @@
 #include "util/csv.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <ostream>
@@ -58,11 +60,34 @@ void Table::save_csv(const std::string& path) const {
   // Callers default their outputs into build/artifacts/, which may not
   // exist yet on a fresh tree.
   const auto parent = std::filesystem::path(path).parent_path();
-  if (!parent.empty()) std::filesystem::create_directories(parent);
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      throw std::runtime_error("cannot create directory '" +
+                               parent.string() + "' for " + path + ": " +
+                               ec.message());
+    }
+  }
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  if (!out) {
+    throw std::runtime_error("cannot open for writing: " + path + ": " +
+                             std::strerror(errno));
+  }
   write_csv(out);
-  if (!out) throw std::runtime_error("write failed: " + path);
+  // A full disk or an I/O error can hide in the stream buffer until it
+  // drains: flush and close explicitly, checking after each, so a campaign
+  // never reports success over a truncated file.
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("write failed: " + path + ": " +
+                             std::strerror(errno));
+  }
+  out.close();
+  if (out.fail()) {
+    throw std::runtime_error("close failed: " + path + ": " +
+                             std::strerror(errno));
+  }
 }
 
 void Table::write_text(std::ostream& out) const {

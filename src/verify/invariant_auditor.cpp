@@ -1,0 +1,349 @@
+#include "verify/invariant_auditor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/graph.hpp"
+#include "resilience/fault_model.hpp"
+
+namespace nestflow::verify {
+
+namespace {
+
+[[nodiscard]] std::string state_name(AuditFlowState s) {
+  switch (s) {
+    case AuditFlowState::kPending: return "pending";
+    case AuditFlowState::kActive: return "active";
+    case AuditFlowState::kDone: return "done";
+    case AuditFlowState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void InvariantAuditor::fail(const char* oracle, const AuditView& view,
+                            std::string detail) {
+  throw AuditError(oracle, view.events(), view.now(), std::move(detail));
+}
+
+void InvariantAuditor::on_run_start(const AuditView& view) {
+  ++runs_audited_;
+  last_now_ = view.now();
+
+  saturation_tol_ = std::max(options_.saturation_tol_rel, 1e-6);
+  const double quantum = view.options().rate_quantum_rel;
+  if (quantum > 0.0) {
+    // Quantisation snaps every rate DOWN by up to a factor (1 + quantum):
+    // a saturated link's sum can fall short of capacity by ~quantum, and a
+    // maximal share can trail the (unquantised elsewhere) maximum likewise.
+    saturation_tol_ = std::max(saturation_tol_, 2.0 * quantum);
+  }
+
+  const std::uint32_t n = view.num_flows();
+  const std::uint32_t links = view.num_links();
+  link_sum_.assign(links, 0.0);
+  link_max_share_.assign(links, 0.0);
+  link_touched_.assign(links, 0);
+  touched_links_.clear();
+
+  // CSR of each flow's dependency parents, for the causality oracle.
+  const auto& deps = view.program().dependencies();
+  parent_start_.assign(n + 1, 0);
+  for (const auto& [before, after] : deps) ++parent_start_[after + 1];
+  for (std::uint32_t f = 0; f < n; ++f) {
+    parent_start_[f + 1] += parent_start_[f];
+  }
+  parents_.resize(deps.size());
+  std::vector<std::uint32_t> cursor(parent_start_.begin(),
+                                    parent_start_.end() - 1);
+  for (const auto& [before, after] : deps) {
+    parents_[cursor[after]++] = before;
+  }
+
+  prev_state_.assign(n, AuditFlowState::kPending);
+  prev_remaining_.resize(n);
+  prev_retry_.assign(n, 0);
+  for (FlowIndex f = 0; f < n; ++f) {
+    prev_remaining_[f] = view.program().flow(f).bytes;
+  }
+
+  check_fault_reference(view);
+}
+
+void InvariantAuditor::check_fault_reference(const AuditView& view) {
+  if (fault_reference_ == nullptr) return;
+  const Graph& graph = view.topology().graph();
+  for (LinkId l = 0; l < graph.num_transit_links(); ++l) {
+    const double expect =
+        view.link_base_capacity(l) * fault_reference_->effective_factor(l);
+    const double got = view.link_capacity(l);
+    if (std::abs(got - expect) > 1e-9 * std::max(1.0, expect)) {
+      fail("fault-reference", view,
+           "transit link " + std::to_string(l) + " capacity " +
+               std::to_string(got) + " != scenario expectation " +
+               std::to_string(expect));
+    }
+  }
+  for (std::uint32_t e = 0; e < view.topology().num_endpoints(); ++e) {
+    if (!fault_reference_->node_dead(e)) continue;
+    if (view.link_capacity(graph.injection_link(e)) != 0.0 ||
+        view.link_capacity(graph.consumption_link(e)) != 0.0) {
+      fail("fault-reference", view,
+           "dead endpoint " + std::to_string(e) +
+               " still has NIC capacity");
+    }
+  }
+}
+
+void InvariantAuditor::check_time(const AuditView& view) {
+  if (!std::isfinite(view.now()) || view.now() < last_now_) {
+    fail("monotone-time", view,
+         "time moved from " + std::to_string(last_now_) + " to " +
+             std::to_string(view.now()));
+  }
+  if (!std::isfinite(view.dt()) || view.dt() < 0.0) {
+    fail("monotone-time", view, "bad time step " + std::to_string(view.dt()));
+  }
+}
+
+void InvariantAuditor::check_capacity_and_bottleneck(const AuditView& view) {
+  // Pass 1: per-link allocated-rate sums and maximal rate/weight shares
+  // over exactly the links touched by an active path.
+  touched_links_.clear();
+  for (const FlowIndex f : view.active_flows()) {
+    const double rate = view.flow_rate(f);
+    const double share = rate / view.program().flow(f).weight;
+    if (!(rate > 0.0) || !std::isfinite(rate)) {
+      fail("capacity", view,
+           "active flow " + std::to_string(f) + " holds rate " +
+               std::to_string(rate));
+    }
+    for (const LinkId l : view.flow_path(f)) {
+      if (!link_touched_[l]) {
+        link_touched_[l] = 1;
+        link_sum_[l] = 0.0;
+        link_max_share_[l] = 0.0;
+        touched_links_.push_back(l);
+      }
+      link_sum_[l] += rate;
+      link_max_share_[l] = std::max(link_max_share_[l], share);
+    }
+  }
+
+  // Feasibility: no link oversubscribed beyond FP slack. The tamper factor
+  // (normally 1) shrinks the judged capacity to emulate an engine bug.
+  for (const LinkId l : touched_links_) {
+    const double cap =
+        view.link_capacity(l) * options_.capacity_tamper_factor;
+    if (link_sum_[l] > cap * (1.0 + options_.capacity_tol_rel)) {
+      fail("capacity", view,
+           "link " + std::to_string(l) + " carries " +
+               std::to_string(link_sum_[l]) + " bps over capacity " +
+               std::to_string(cap));
+    }
+  }
+
+  // Max-min optimality: every active flow must be bottlenecked — some path
+  // link is saturated and the flow's share is maximal there. If not, the
+  // allocation left rate on the table for this flow and is not max-min.
+  for (const FlowIndex f : view.active_flows()) {
+    const double share = view.flow_rate(f) / view.program().flow(f).weight;
+    bool bottlenecked = false;
+    for (const LinkId l : view.flow_path(f)) {
+      const double cap = view.link_capacity(l);
+      if (link_sum_[l] >= cap * (1.0 - saturation_tol_) &&
+          share >= link_max_share_[l] * (1.0 - saturation_tol_)) {
+        bottlenecked = true;
+        break;
+      }
+    }
+    if (!bottlenecked) {
+      // Per-link diagnostics make the reproducer self-explaining: which
+      // link missed saturation (and by how much) or carries a larger share.
+      std::string detail = "active flow " + std::to_string(f) + " (rate " +
+                           std::to_string(view.flow_rate(f)) +
+                           ") has no saturated path link where its share "
+                           "is maximal; path:";
+      for (const LinkId l : view.flow_path(f)) {
+        detail += " [link " + std::to_string(l) + " cap " +
+                  std::to_string(view.link_capacity(l)) + " sum " +
+                  std::to_string(link_sum_[l]) + " max_share " +
+                  std::to_string(link_max_share_[l]) + "]";
+      }
+      fail("maxmin-bottleneck", view, detail);
+    }
+  }
+
+  for (const LinkId l : touched_links_) link_touched_[l] = 0;
+}
+
+void InvariantAuditor::check_conservation_and_causality(
+    const AuditView& view) {
+  const std::uint32_t n = view.num_flows();
+  for (FlowIndex f = 0; f < n; ++f) {
+    const AuditFlowState state = view.flow_state(f);
+    const AuditFlowState prev = prev_state_[f];
+
+    // Lifecycle legality: done/cancelled are absorbing; active -> pending
+    // only via a restart retry.
+    if ((prev == AuditFlowState::kDone || prev == AuditFlowState::kCancelled)
+        && state != prev) {
+      fail("lifecycle", view,
+           "flow " + std::to_string(f) + " left terminal state " +
+               state_name(prev) + " for " + state_name(state));
+    }
+    if (prev == AuditFlowState::kActive &&
+        state == AuditFlowState::kPending &&
+        view.flow_retries(f) <= prev_retry_[f]) {
+      fail("lifecycle", view,
+           "flow " + std::to_string(f) +
+               " went active -> pending without a retry");
+    }
+
+    // Causality: leaving pending requires every dependency completed.
+    if (prev == AuditFlowState::kPending &&
+        (state == AuditFlowState::kActive ||
+         state == AuditFlowState::kDone)) {
+      for (std::uint32_t p = parent_start_[f]; p < parent_start_[f + 1];
+           ++p) {
+        if (view.flow_state(parents_[p]) != AuditFlowState::kDone) {
+          fail("dag-causality", view,
+               "flow " + std::to_string(f) + " started while parent " +
+                   std::to_string(parents_[p]) + " is " +
+                   state_name(view.flow_state(parents_[p])));
+        }
+      }
+    }
+
+    // Byte conservation: remaining stays within [0, bytes] and never grows
+    // while the flow stays continuously active (reroutes keep remaining;
+    // only a restart retry resets it to the full payload).
+    if (state == AuditFlowState::kActive) {
+      const double bytes = view.program().flow(f).bytes;
+      const double remaining = view.flow_remaining(f);
+      if (remaining < 0.0 ||
+          remaining > bytes * (1.0 + options_.bytes_tol_rel)) {
+        fail("byte-conservation", view,
+             "flow " + std::to_string(f) + " remaining " +
+                 std::to_string(remaining) + " outside [0, " +
+                 std::to_string(bytes) + "]");
+      }
+      if (prev == AuditFlowState::kActive &&
+          view.flow_retries(f) == prev_retry_[f] &&
+          remaining > prev_remaining_[f] + bytes * 1e-12) {
+        fail("byte-conservation", view,
+             "flow " + std::to_string(f) + " remaining grew " +
+                 std::to_string(prev_remaining_[f]) + " -> " +
+                 std::to_string(remaining) + " without a retry");
+      }
+      prev_remaining_[f] = remaining;
+    }
+
+    prev_state_[f] = state;
+    prev_retry_[f] = view.flow_retries(f);
+  }
+}
+
+void InvariantAuditor::on_event(const AuditView& view) {
+  ++events_audited_;
+  check_time(view);
+  check_capacity_and_bottleneck(view);
+  check_conservation_and_causality(view);
+  last_now_ = view.now();
+}
+
+void InvariantAuditor::on_run_end(const AuditView& view,
+                                  const SimResult& result) {
+  check_time(view);
+
+  const TrafficProgram& program = view.program();
+  const std::uint32_t n = view.num_flows();
+
+  double cancelled_bytes = 0.0;
+  std::uint64_t cancelled_data_flows = 0;
+  for (FlowIndex f = 0; f < n; ++f) {
+    const AuditFlowState state = view.flow_state(f);
+    if (state != AuditFlowState::kDone &&
+        state != AuditFlowState::kCancelled) {
+      fail("run-end", view,
+           "flow " + std::to_string(f) + " finished the run " +
+               state_name(state));
+    }
+    const FlowSpec& spec = program.flow(f);
+    if (state == AuditFlowState::kCancelled && !spec.is_sync) {
+      cancelled_bytes += spec.bytes;
+      ++cancelled_data_flows;
+    }
+  }
+
+  const double bytes_tol =
+      options_.bytes_tol_rel * std::max(1.0, program.total_bytes());
+  if (result.num_flows != program.num_data_flows()) {
+    fail("run-end", view,
+         "result.num_flows " + std::to_string(result.num_flows) +
+             " != program data flows " +
+             std::to_string(program.num_data_flows()));
+  }
+  if (std::abs(result.total_bytes - program.total_bytes()) > bytes_tol) {
+    fail("byte-conservation", view,
+         "result.total_bytes " + std::to_string(result.total_bytes) +
+             " != program bytes " + std::to_string(program.total_bytes()));
+  }
+  if (std::abs(result.undelivered_bytes - cancelled_bytes) > bytes_tol) {
+    fail("byte-conservation", view,
+         "undelivered_bytes " + std::to_string(result.undelivered_bytes) +
+             " != bytes of cancelled data flows " +
+             std::to_string(cancelled_bytes));
+  }
+  if (result.stranded_flows + result.cancelled_flows !=
+      cancelled_data_flows) {
+    fail("run-end", view,
+         "stranded (" + std::to_string(result.stranded_flows) +
+             ") + cancelled (" + std::to_string(result.cancelled_flows) +
+             ") != cancelled data flows " +
+             std::to_string(cancelled_data_flows));
+  }
+  if (result.makespan != view.now()) {
+    fail("monotone-time", view,
+         "makespan " + std::to_string(result.makespan) +
+             " != final simulated time " + std::to_string(view.now()));
+  }
+
+  if (view.options().record_flow_times) {
+    if (result.flow_finish_times.size() != n) {
+      fail("run-end", view, "flow_finish_times has wrong size");
+    }
+    for (FlowIndex f = 0; f < n; ++f) {
+      const double t = result.flow_finish_times[f];
+      const bool cancelled =
+          view.flow_state(f) == AuditFlowState::kCancelled;
+      if (cancelled != std::isnan(t)) {
+        fail("run-end", view,
+             "flow " + std::to_string(f) +
+                 " finish-time NaN-ness disagrees with cancellation");
+      }
+      if (std::isnan(t)) continue;
+      if (t < 0.0 || t > view.now()) {
+        fail("run-end", view,
+             "flow " + std::to_string(f) + " finish time " +
+                 std::to_string(t) + " outside [0, makespan]");
+      }
+      // A child can never finish before a parent it waited on.
+      for (std::uint32_t p = parent_start_[f]; p < parent_start_[f + 1];
+           ++p) {
+        const double pt = result.flow_finish_times[parents_[p]];
+        if (!std::isnan(pt) && t < pt) {
+          fail("dag-causality", view,
+               "flow " + std::to_string(f) + " finished at " +
+                   std::to_string(t) + " before parent " +
+                   std::to_string(parents_[p]) + " at " +
+                   std::to_string(pt));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace nestflow::verify

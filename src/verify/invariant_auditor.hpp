@@ -1,0 +1,143 @@
+// Runtime invariant oracles for the flow engine.
+//
+// InvariantAuditor implements the FlowAuditor observer contract
+// (flowsim/audit.hpp) and checks, at every audited point, the properties
+// the engine's design claims to guarantee:
+//
+//   * capacity feasibility — per-link allocated rate never exceeds the
+//     effective (fault-degraded) capacity;
+//   * max-min optimality — every active flow is bottlenecked: some link on
+//     its path is saturated AND the flow's rate/weight share is maximal
+//     among the flows crossing it (the water-filling optimality
+//     certificate);
+//   * byte conservation — per-flow remaining bytes stay in [0, bytes] and
+//     never increase except across a restart retry; at run end the
+//     undelivered total equals the bytes of cancelled data flows exactly;
+//   * DAG causality — no flow leaves the pending state before every
+//     dependency has completed, across reroutes and restart retries;
+//   * monotone time — simulated time never moves backwards and every time
+//     step is finite and non-negative.
+//
+// A violated oracle throws AuditError with the oracle name, the event
+// count and simulated time of the violation, and a human-readable detail —
+// enough for the chaos harness to print a one-line reproducer.
+//
+// AuditorOptions::capacity_tamper_factor exists for harness
+// self-validation: setting it below 1 makes the feasibility oracle judge
+// the engine against artificially shrunken capacities, which is
+// indistinguishable from the engine oversubscribing real ones. A harness
+// that cannot catch that injected bug cannot be trusted to catch a real
+// one (see tests/test_chaos.cpp).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "flowsim/audit.hpp"
+
+namespace nestflow {
+class FaultModel;
+}
+
+namespace nestflow::verify {
+
+/// An invariant violation. Carries enough structure for a reproducer line.
+class AuditError : public std::runtime_error {
+ public:
+  AuditError(std::string oracle, std::uint64_t events, double sim_time,
+             std::string detail)
+      : std::runtime_error("invariant violated [" + oracle +
+                           "] at event " + std::to_string(events) + " t=" +
+                           std::to_string(sim_time) + ": " + detail),
+        oracle_(std::move(oracle)),
+        events_(events),
+        sim_time_(sim_time),
+        detail_(std::move(detail)) {}
+
+  [[nodiscard]] const std::string& oracle() const noexcept { return oracle_; }
+  [[nodiscard]] std::uint64_t events() const noexcept { return events_; }
+  [[nodiscard]] double sim_time() const noexcept { return sim_time_; }
+  [[nodiscard]] const std::string& detail() const noexcept { return detail_; }
+
+ private:
+  std::string oracle_;
+  std::uint64_t events_;
+  double sim_time_;
+  std::string detail_;
+};
+
+struct AuditorOptions {
+  /// Relative slack on the per-link feasibility check. The solver itself
+  /// never oversubscribes beyond rounding, so this only absorbs FP sums.
+  double capacity_tol_rel = 1e-6;
+  /// Relative slack on the saturation/maximality certificate. 0 = derive
+  /// from the engine's rate_quantum_rel at run start (quantisation rounds
+  /// every rate DOWN by up to that factor, so saturated links legitimately
+  /// fall short of capacity by about it).
+  double saturation_tol_rel = 0.0;
+  /// Relative slack on byte totals at run end.
+  double bytes_tol_rel = 1e-9;
+  /// Judge feasibility against capacity * this factor. 1 = honest audit;
+  /// < 1 simulates an engine that oversubscribes links by 1/factor, used
+  /// to prove the harness detects such a bug (see file comment).
+  double capacity_tamper_factor = 1.0;
+};
+
+class InvariantAuditor final : public FlowAuditor {
+ public:
+  explicit InvariantAuditor(AuditorOptions options = {})
+      : options_(options) {}
+
+  /// Optional cross-check against a static fault scenario: at run start,
+  /// every transit link's effective capacity must equal nominal times the
+  /// model's factor, and dead endpoints must have zero-capacity NICs.
+  /// Only meaningful for runs whose capacities are applied up front (not
+  /// under a live timeline, where capacities move mid-run).
+  void set_fault_reference(const FaultModel* faults) noexcept {
+    fault_reference_ = faults;
+  }
+
+  void on_run_start(const AuditView& view) override;
+  void on_event(const AuditView& view) override;
+  void on_run_end(const AuditView& view, const SimResult& result) override;
+
+  /// Audit activity counters (for tests: prove the oracles actually ran).
+  [[nodiscard]] std::uint64_t events_audited() const noexcept {
+    return events_audited_;
+  }
+  [[nodiscard]] std::uint64_t runs_audited() const noexcept {
+    return runs_audited_;
+  }
+
+ private:
+  void check_time(const AuditView& view);
+  void check_capacity_and_bottleneck(const AuditView& view);
+  void check_conservation_and_causality(const AuditView& view);
+  void check_fault_reference(const AuditView& view);
+
+  [[noreturn]] static void fail(const char* oracle, const AuditView& view,
+                                std::string detail);
+
+  AuditorOptions options_;
+  const FaultModel* fault_reference_ = nullptr;
+
+  // Per-run scratch, sized in on_run_start.
+  double saturation_tol_ = 1e-6;      // resolved from options + engine opts
+  double last_now_ = 0.0;
+  std::vector<double> link_sum_;       // allocated rate per link
+  std::vector<double> link_max_share_; // max rate/weight per link
+  std::vector<std::uint8_t> link_touched_;
+  std::vector<LinkId> touched_links_;
+  std::vector<std::uint32_t> parent_start_;  // CSR over dependencies
+  std::vector<FlowIndex> parents_;
+  std::vector<AuditFlowState> prev_state_;
+  std::vector<double> prev_remaining_;
+  std::vector<std::uint32_t> prev_retry_;
+
+  std::uint64_t events_audited_ = 0;
+  std::uint64_t runs_audited_ = 0;
+};
+
+}  // namespace nestflow::verify

@@ -1,5 +1,7 @@
 #include "workloads/factory.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <stdexcept>
 
 #include "workloads/bisection.hpp"
@@ -20,7 +22,18 @@ void WorkloadParams::set(std::string key, std::string value) {
 double WorkloadParams::get_double(std::string_view key, double fallback) {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  const double value = std::stod(it->second);
+  // Strict whole-string parse: the std::stod family silently accepts
+  // trailing junk ("1x", "1e", "1;rounds=2"), which turns a typo'd spec
+  // into a quietly different experiment.
+  const std::string& text = it->second;
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size() ||
+      !std::isfinite(value)) {
+    throw std::invalid_argument("workload parameter '" + std::string(key) +
+                                "': malformed number '" + text + "'");
+  }
   values_.erase(it);
   return value;
 }
@@ -29,7 +42,16 @@ std::uint32_t WorkloadParams::get_uint(std::string_view key,
                                        std::uint32_t fallback) {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  const auto value = static_cast<std::uint32_t>(std::stoul(it->second));
+  // std::stoul wraps negatives around and ignores trailing junk; reject both.
+  const std::string& text = it->second;
+  std::uint32_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    throw std::invalid_argument("workload parameter '" + std::string(key) +
+                                "': malformed unsigned integer '" + text +
+                                "'");
+  }
   values_.erase(it);
   return value;
 }

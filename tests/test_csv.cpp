@@ -102,5 +102,35 @@ TEST(Format, Time) {
   EXPECT_EQ(format_time(5e-9), "5.0 ns");
 }
 
+#ifdef __linux__
+TEST(Table, SaveCsvSurfacesDeviceWriteErrors) {
+  // /dev/full accepts the open but fails every write with ENOSPC — the
+  // buffered-stream case where an error only surfaces at flush/close.
+  // save_csv must report it rather than silently "succeed".
+  Table table({"k"});
+  for (int i = 0; i < 10000; ++i) table.add_row({"0123456789"});
+  try {
+    table.save_csv("/dev/full");
+    FAIL() << "writing to /dev/full did not throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("/dev/full"),
+              std::string::npos);
+  }
+}
+#endif
+
+TEST(Table, SaveCsvReportsUncreatableParent) {
+  Table table({"k"});
+  try {
+    // The parent chain runs through a non-directory: create_directories
+    // cannot succeed, and the error must name the directory.
+    table.save_csv("/dev/null/sub/file.csv");
+    FAIL() << "uncreatable parent did not throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("cannot create directory"),
+              std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace nestflow

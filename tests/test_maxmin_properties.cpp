@@ -1,0 +1,190 @@
+// Property-based tests of the max-min solver, independent of the engine:
+// random instances checked against the water-filling axioms (feasibility,
+// the bottleneck/saturation certificate, permutation invariance) rather
+// than hand-computed rates. These are the same oracles the runtime
+// InvariantAuditor applies to live engine state (src/verify/); here they
+// pin the solver itself over a much wider instance space.
+#include "flowsim/maxmin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace nestflow {
+namespace {
+
+struct Instance {
+  std::vector<double> capacities;
+  std::vector<std::vector<LinkId>> paths;
+  std::vector<double> weights;
+};
+
+Instance random_instance(std::uint64_t seed, bool weighted) {
+  Prng prng(seed, 0x3A3Du);
+  Instance inst;
+  const auto num_links = static_cast<std::size_t>(prng.next_in(3, 20));
+  const auto num_flows = static_cast<std::size_t>(prng.next_in(1, 30));
+  inst.capacities.resize(num_links);
+  for (auto& c : inst.capacities) c = 1.0 + 99.0 * prng.next_double();
+  inst.paths.resize(num_flows);
+  std::vector<LinkId> all_links(num_links);
+  std::iota(all_links.begin(), all_links.end(), LinkId{0});
+  for (auto& path : inst.paths) {
+    // Sample 1..5 distinct links via a partial shuffle.
+    const auto hops = static_cast<std::size_t>(
+        prng.next_in(1, static_cast<std::int64_t>(std::min<std::size_t>(
+                            5, num_links))));
+    prng.shuffle(std::span<LinkId>(all_links));
+    path.assign(all_links.begin(),
+                all_links.begin() + static_cast<std::ptrdiff_t>(hops));
+  }
+  inst.weights.resize(num_flows, 1.0);
+  if (weighted) {
+    for (auto& w : inst.weights) {
+      w = static_cast<double>(prng.next_in(1, 4));
+    }
+  }
+  return inst;
+}
+
+std::vector<double> solve(const Instance& inst) {
+  return maxmin_fair_rates(inst.capacities, inst.paths, inst.weights);
+}
+
+/// Feasibility: per-link allocated rate never exceeds capacity (beyond FP
+/// rounding) and every rate is strictly positive.
+void expect_feasible(const Instance& inst, const std::vector<double>& rates) {
+  ASSERT_EQ(rates.size(), inst.paths.size());
+  for (const double r : rates) {
+    EXPECT_TRUE(std::isfinite(r));
+    EXPECT_GT(r, 0.0);
+  }
+  std::vector<double> load(inst.capacities.size(), 0.0);
+  for (std::size_t f = 0; f < inst.paths.size(); ++f) {
+    for (const LinkId l : inst.paths[f]) load[l] += rates[f];
+  }
+  for (std::size_t l = 0; l < load.size(); ++l) {
+    EXPECT_LE(load[l], inst.capacities[l] * (1.0 + 1e-9))
+        << "link " << l << " oversubscribed";
+  }
+}
+
+/// Bottleneck certificate: an allocation is max-min optimal iff every flow
+/// crosses some link that is (a) saturated and (b) where the flow's
+/// rate/weight share is maximal among the link's flows. (Bertsekas &
+/// Gallager's characterisation; no flow can be raised without lowering an
+/// equal-or-smaller share.)
+void expect_bottlenecked(const Instance& inst,
+                         const std::vector<double>& rates) {
+  std::vector<double> load(inst.capacities.size(), 0.0);
+  std::vector<double> max_share(inst.capacities.size(), 0.0);
+  for (std::size_t f = 0; f < inst.paths.size(); ++f) {
+    const double share = rates[f] / inst.weights[f];
+    for (const LinkId l : inst.paths[f]) {
+      load[l] += rates[f];
+      max_share[l] = std::max(max_share[l], share);
+    }
+  }
+  for (std::size_t f = 0; f < inst.paths.size(); ++f) {
+    const double share = rates[f] / inst.weights[f];
+    bool bottlenecked = false;
+    for (const LinkId l : inst.paths[f]) {
+      const bool saturated = load[l] >= inst.capacities[l] * (1.0 - 1e-6);
+      const bool maximal = share >= max_share[l] * (1.0 - 1e-6);
+      if (saturated && maximal) {
+        bottlenecked = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(bottlenecked)
+        << "flow " << f << " (rate " << rates[f]
+        << ") has no saturated bottleneck link with maximal share";
+  }
+}
+
+TEST(MaxminProperties, RandomInstancesFeasibleAndBottlenecked) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const Instance inst = random_instance(seed, /*weighted=*/false);
+    const auto rates = solve(inst);
+    expect_feasible(inst, rates);
+    expect_bottlenecked(inst, rates);
+  }
+}
+
+TEST(MaxminProperties, WeightedInstancesFeasibleAndBottlenecked) {
+  for (std::uint64_t seed = 1000; seed < 1200; ++seed) {
+    const Instance inst = random_instance(seed, /*weighted=*/true);
+    const auto rates = solve(inst);
+    expect_feasible(inst, rates);
+    expect_bottlenecked(inst, rates);
+  }
+}
+
+TEST(MaxminProperties, PermutationInvariance) {
+  // Max-min rates are a property of the flow SET, not the order flows are
+  // presented in: permute the flows, solve, map back, and compare.
+  for (std::uint64_t seed = 2000; seed < 2100; ++seed) {
+    const Instance inst = random_instance(seed, seed % 2 == 0);
+    const auto rates = solve(inst);
+
+    Prng prng(seed, 0x9E12u);
+    std::vector<std::size_t> perm(inst.paths.size());
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    prng.shuffle(std::span<std::size_t>(perm));
+
+    Instance shuffled = inst;
+    for (std::size_t f = 0; f < perm.size(); ++f) {
+      shuffled.paths[f] = inst.paths[perm[f]];
+      shuffled.weights[f] = inst.weights[perm[f]];
+    }
+    const auto shuffled_rates = solve(shuffled);
+    for (std::size_t f = 0; f < perm.size(); ++f) {
+      const double expected = rates[perm[f]];
+      EXPECT_NEAR(shuffled_rates[f], expected, std::abs(expected) * 1e-9)
+          << "seed " << seed << " flow " << perm[f];
+    }
+  }
+}
+
+TEST(MaxminProperties, SingleLinkSplitsEvenly) {
+  const std::vector<double> caps = {12.0};
+  const std::vector<std::vector<LinkId>> paths = {{0}, {0}, {0}};
+  const auto rates = maxmin_fair_rates(caps, paths);
+  for (const double r : rates) EXPECT_DOUBLE_EQ(r, 4.0);
+}
+
+TEST(MaxminProperties, WeightedSingleLinkSplitsProportionally) {
+  const std::vector<double> caps = {12.0};
+  const std::vector<std::vector<LinkId>> paths = {{0}, {0}};
+  const std::vector<double> weights = {1.0, 2.0};
+  const auto rates = maxmin_fair_rates(caps, paths, weights);
+  EXPECT_DOUBLE_EQ(rates[0], 4.0);
+  EXPECT_DOUBLE_EQ(rates[1], 8.0);
+}
+
+TEST(MaxminProperties, ClassicParkingLot) {
+  // Long flow over both links, one short flow per link: the long flow gets
+  // the fair share of the tighter link, shorts mop up the residual.
+  const std::vector<double> caps = {10.0, 4.0};
+  const std::vector<std::vector<LinkId>> paths = {{0, 1}, {0}, {1}};
+  const auto rates = maxmin_fair_rates(caps, paths);
+  EXPECT_NEAR(rates[0], 2.0, 1e-9);  // bottlenecked on link 1 (4/2)
+  EXPECT_NEAR(rates[1], 8.0, 1e-9);  // residual of link 0
+  EXPECT_NEAR(rates[2], 2.0, 1e-9);
+}
+
+TEST(MaxminProperties, UnsharedFlowsGetFullCapacity) {
+  const std::vector<double> caps = {3.0, 7.0};
+  const std::vector<std::vector<LinkId>> paths = {{0}, {1}};
+  const auto rates = maxmin_fair_rates(caps, paths);
+  EXPECT_DOUBLE_EQ(rates[0], 3.0);
+  EXPECT_DOUBLE_EQ(rates[1], 7.0);
+}
+
+}  // namespace
+}  // namespace nestflow
