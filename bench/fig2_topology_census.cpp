@@ -52,7 +52,7 @@ int main() {
     const auto topology = make_example(which);
     const auto report = validate_graph(topology->graph());
     const auto census = take_census(topology->graph());
-    const auto distances = exact_distance_report(topology->graph());
+    const auto distances = auto_distance_report(topology->graph(), 1);
     std::printf("(%c) %s\n", which, topology->name().c_str());
     std::printf("    wiring: %s\n",
                 report.ok() ? "valid" : report.to_string().c_str());

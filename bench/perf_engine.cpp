@@ -36,6 +36,15 @@
 // free A/B of the bit-identity contract — and the binary exits non-zero on
 // any mismatch or when a gate is not met. See EXPERIMENTS.md for the
 // schema and scripts/run_bench.sh for the canonical invocation.
+//
+// Schema v4 adds memory accounting per cell: peak_rss_bytes (VmHWM from
+// /proc/self/status — the process high-water mark as of the end of the
+// cell, monotone across cells; 0 on non-Linux hosts) and
+// bytes_per_endpoint (peak_rss_bytes / nodes). --optimized-only skips the
+// cacheless baseline mode so million-endpoint cells do not have to pay a
+// full re-solve per event; such cells report speedup 0 and gate identity
+// on cold-vs-steady self-consistency alone. --max-rss-gb fails the run
+// when the final peak RSS exceeds the given budget.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -126,6 +135,7 @@ bool same_full(const SimResult& a, const SimResult& b) {
 
 ModeStats run_mode(const Topology& topology, const TrafficProgram& program,
                    bool optimized, std::uint32_t repeat, double latency,
+                   std::size_t solve_cache_words,
                    std::uint32_t solver_threads = 1) {
   EngineOptions options;
   options.adaptive_routing = false;  // identical deterministic paths
@@ -134,6 +144,7 @@ ModeStats run_mode(const Topology& topology, const TrafficProgram& program,
   options.incremental_solver = optimized;
   options.route_cache = optimized;
   options.solve_cache = optimized;
+  options.solve_cache_budget_words = solve_cache_words;
   options.solver_threads = solver_threads;
 
   FlowEngine engine(topology, options);
@@ -181,6 +192,23 @@ void emit_mode(std::ostream& out, const char* name, const ModeStats& stats) {
       << ", \"makespan\": " << r.makespan << "}";
 }
 
+/// Process peak resident set size in bytes (VmHWM), or 0 where the Linux
+/// procfs interface is unavailable. Monotone over the process lifetime, so
+/// a per-cell reading means "high-water mark as of the end of this cell".
+std::uint64_t peak_rss_bytes() {
+#if defined(__linux__)
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    unsigned long long kib = 0;
+    if (std::sscanf(line.c_str(), "VmHWM: %llu kB", &kib) == 1) {
+      return static_cast<std::uint64_t>(kib) * 1024;
+    }
+  }
+#endif
+  return 0;
+}
+
 std::string compiler_id() {
 #if defined(__clang__)
   return std::string("clang ") + __clang_version__;
@@ -212,6 +240,20 @@ int main(int argc, char** argv) {
   cli.add_option("min-speedup",
                  "fail (exit 1) when any cell's steady speedup is below this",
                  "0");
+  cli.add_flag("optimized-only",
+               "skip the cacheless baseline mode (million-endpoint cells); "
+               "speedup is reported as 0 and identity gates on cold-vs-"
+               "steady self-consistency of the optimized mode alone");
+  cli.add_option("max-rss-gb",
+                 "fail (exit 1) when the process peak RSS after all cells "
+                 "exceeds this many GiB (0 = report only)",
+                 "0");
+  cli.add_option("solve-cache-mb",
+                 "solve-cache arena budget in MiB for the optimized modes; "
+                 "sized so a steady-state sweep's whole solve sequence stays "
+                 "resident (giant-flow-set workloads like the mapreduce "
+                 "shuffle need hundreds of MiB per program)",
+                 "512");
   cli.add_option("threads",
                  "comma list of solver thread counts for the thread-scaling "
                  "section (empty = skip it)",
@@ -231,6 +273,11 @@ int main(int argc, char** argv) {
   const auto seed = cli.get_uint("seed");
   const double latency = cli.get_double("latency");
   const double min_speedup = cli.get_double("min-speedup");
+  const bool optimized_only = cli.get_bool("optimized-only");
+  const double max_rss_gb = cli.get_double("max-rss-gb");
+  const std::size_t solve_cache_words =
+      static_cast<std::size_t>(cli.get_uint("solve-cache-mb")) *
+      ((1u << 20) / 8);
   const double min_thread_speedup = cli.get_double("min-thread-speedup");
   std::vector<std::string> workloads = cli.get_string_list("workloads");
   if (workloads.empty()) workloads = all_workload_names();
@@ -258,7 +305,7 @@ int main(int argc, char** argv) {
   double best_4thread_speedup = 0.0;
   std::ofstream out(out_path);
   out.precision(12);
-  out << "{\n  \"schema\": \"nestflow-bench-engine-v3\",\n"
+  out << "{\n  \"schema\": \"nestflow-bench-engine-v4\",\n"
       << "  \"git_sha\": \"" << cli.get_string("git-sha") << "\",\n"
       << "  \"compiler\": \"" << compiler_id() << "\",\n"
       << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
@@ -283,34 +330,42 @@ int main(int argc, char** argv) {
       context.seed = hash_combine(seed, std::hash<std::string>{}(spec));
       const TrafficProgram program = workload->generate(context);
 
-      const ModeStats baseline =
-          run_mode(*topology, program, false, repeat, latency);
+      std::optional<ModeStats> baseline;
+      if (!optimized_only) {
+        baseline = run_mode(*topology, program, false, repeat, latency,
+                            solve_cache_words);
+      }
       const ModeStats optimized =
-          run_mode(*topology, program, true, repeat, latency);
+          run_mode(*topology, program, true, repeat, latency, solve_cache_words);
 
       const bool identical =
-          same_physical(baseline.result, optimized.result) &&
-          baseline.self_consistent && optimized.self_consistent;
+          (!baseline ||
+           (same_physical(baseline->result, optimized.result) &&
+            baseline->self_consistent)) &&
+          optimized.self_consistent;
       const double speedup =
-          optimized.steady_wall_seconds > 0.0
-              ? baseline.steady_wall_seconds / optimized.steady_wall_seconds
+          baseline && optimized.steady_wall_seconds > 0.0
+              ? baseline->steady_wall_seconds / optimized.steady_wall_seconds
               : 0.0;
       const double cold_speedup =
-          optimized.cold_wall_seconds > 0.0
-              ? baseline.cold_wall_seconds / optimized.cold_wall_seconds
+          baseline && optimized.cold_wall_seconds > 0.0
+              ? baseline->cold_wall_seconds / optimized.cold_wall_seconds
               : 0.0;
       if (!identical) {
         std::cerr << "A/B MISMATCH on " << spec << " @ "
-                  << point.config_name() << ": baseline makespan "
-                  << baseline.result.makespan << " events "
-                  << baseline.result.events << " (self-consistent "
-                  << baseline.self_consistent << ") vs optimized "
-                  << optimized.result.makespan << " / "
+                  << point.config_name() << ": ";
+        if (baseline) {
+          std::cerr << "baseline makespan " << baseline->result.makespan
+                    << " events " << baseline->result.events
+                    << " (self-consistent " << baseline->self_consistent
+                    << ") vs ";
+        }
+        std::cerr << "optimized " << optimized.result.makespan << " / "
                   << optimized.result.events << " (self-consistent "
                   << optimized.self_consistent << ")\n";
         ok = false;
       }
-      if (min_speedup > 0.0 && speedup < min_speedup) {
+      if (baseline && min_speedup > 0.0 && speedup < min_speedup) {
         std::cerr << "SPEEDUP BELOW TARGET on " << spec << " @ "
                   << point.config_name() << ": " << speedup << " < "
                   << min_speedup << "\n";
@@ -321,8 +376,10 @@ int main(int argc, char** argv) {
       first_cell = false;
       out << "    {\n      \"point\": \"" << point.config_name()
           << "\",\n      \"workload\": \"" << spec << "\",\n";
-      emit_mode(out, "baseline", baseline);
-      out << ",\n";
+      if (baseline) {
+        emit_mode(out, "baseline", *baseline);
+        out << ",\n";
+      }
       emit_mode(out, "optimized", optimized);
 
       // ------------------------------------------- thread-scaling section
@@ -335,10 +392,10 @@ int main(int argc, char** argv) {
         bool first_entry = true;
         for (const auto threads : thread_counts) {
           const ModeStats timed =
-              run_mode(*topology, program, true, repeat, latency, threads);
+              run_mode(*topology, program, true, repeat, latency, solve_cache_words, threads);
           if (threads == 1 && !serial) serial = timed;
           if (!serial) {
-            serial = run_mode(*topology, program, true, repeat, latency, 1);
+            serial = run_mode(*topology, program, true, repeat, latency, solve_cache_words, 1);
           }
 
           const bool physical_identical =
@@ -391,21 +448,29 @@ int main(int argc, char** argv) {
         out << "]";
       }
 
+      const std::uint64_t cell_rss = peak_rss_bytes();
       out << ",\n      \"speedup\": " << speedup
           << ",\n      \"cold_speedup\": " << cold_speedup
+          << ",\n      \"peak_rss_bytes\": " << cell_rss
+          << ",\n      \"bytes_per_endpoint\": "
+          << (nodes > 0 ? static_cast<double>(cell_rss) /
+                              static_cast<double>(nodes)
+                        : 0.0)
           << ",\n      \"identical\": " << (identical ? "true" : "false")
           << "\n    }";
 
-      std::cout << point.config_name() << " x " << spec << ": steady "
-                << baseline.steady_wall_seconds << " s -> "
-                << optimized.steady_wall_seconds << " s, speedup " << speedup
+      std::cout << point.config_name() << " x " << spec << ": steady ";
+      if (baseline) std::cout << baseline->steady_wall_seconds << " s -> ";
+      std::cout << optimized.steady_wall_seconds << " s, speedup " << speedup
                 << "x (cold " << cold_speedup << "x), route-hit "
                 << rate(optimized.result.route_cache_hits,
                         optimized.result.route_cache_misses)
                 << ", solve-hit "
                 << rate(optimized.result.solve_cache_hits,
                         optimized.result.solve_cache_misses)
-                << "\n";
+                << ", rss "
+                << static_cast<double>(cell_rss) / (1024.0 * 1024.0 * 1024.0)
+                << " GiB\n";
     }
   }
   out << "\n  ]\n}\n";
@@ -414,6 +479,14 @@ int main(int argc, char** argv) {
       best_4thread_speedup < min_thread_speedup) {
     std::cerr << "THREAD SPEEDUP BELOW TARGET: best 4-thread steady speedup "
               << best_4thread_speedup << " < " << min_thread_speedup << "\n";
+    ok = false;
+  }
+  const double final_rss_gb =
+      static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0 * 1024.0);
+  std::cout << "peak rss: " << final_rss_gb << " GiB\n";
+  if (max_rss_gb > 0.0 && final_rss_gb > max_rss_gb) {
+    std::cerr << "PEAK RSS OVER BUDGET: " << final_rss_gb << " GiB > "
+              << max_rss_gb << " GiB\n";
     ok = false;
   }
   return ok ? 0 : 1;

@@ -197,9 +197,12 @@ bool FlowEngine::activate(FlowIndex f, SimResult& result) {
     incidence_.add(l, f);
     link_weight_sum_[l] += spec.weight;
     if (incremental_) mark_dirty(l);
-    if (link_active_count_[l]++ == 0 && !link_in_used_[l]) {
-      link_in_used_[l] = 1;
-      used_links_.push_back(l);
+    if (link_active_count_[l]++ == 0) {
+      ++num_active_links_;
+      if (!link_in_used_[l]) {
+        link_in_used_[l] = 1;
+        used_links_.push_back(l);
+      }
     }
   }
   return true;
@@ -216,7 +219,7 @@ void FlowEngine::complete(FlowIndex f, double now,
   const double weight = program_->flow(f).weight;
   for (const LinkId l : path_view(f)) {
     link_bytes_[l] += bytes;
-    --link_active_count_[l];
+    if (--link_active_count_[l] == 0) --num_active_links_;
     // Zero exactly when the link empties so weight dust never accumulates.
     link_weight_sum_[l] =
         link_active_count_[l] == 0 ? 0.0 : link_weight_sum_[l] - weight;
@@ -255,7 +258,7 @@ void FlowEngine::detach_from_network(FlowIndex f) {
   // against the path that finally delivers it (see complete()).
   const double weight = program_->flow(f).weight;
   for (const LinkId l : path_view(f)) {
-    --link_active_count_[l];
+    if (--link_active_count_[l] == 0) --num_active_links_;
     link_weight_sum_[l] =
         link_active_count_[l] == 0 ? 0.0 : link_weight_sum_[l] - weight;
     if (incremental_) mark_dirty(l);
@@ -467,7 +470,7 @@ void FlowEngine::parallel_solve(SimResult& result) {
         // ran against the event-start state); insert only the first.
         if (solve_key_arena_.size() + key.size() + solve_rates_arena_.size() +
                     flows.size() <=
-                kMaxSolveCacheWords &&
+                options_.solve_cache_budget_words &&
             find_cached_rates(key, component_hash_[c]) == nullptr) {
           insert_solved_rates(key, component_hash_[c], flows);
         }
@@ -549,35 +552,35 @@ void FlowEngine::insert_solved_rates(std::span<const std::uint64_t> key,
   solve_cache_entries_.push_back(entry);
 }
 
-bool FlowEngine::try_cached_solve(SimResult& result) {
+bool FlowEngine::try_cached_solve(SimResult& result,
+                                  std::span<const LinkId> links,
+                                  std::span<const FlowIndex> flows) {
   solve_insert_armed_ = false;
   // The key identifies flows by their shared (route-cache-owned) arena
   // extents; a free-listed extent's offset means nothing across events, so
   // any unshared path in the component forfeits memoization for this event.
-  for (const FlowIndex f : affected_flows_) {
+  for (const FlowIndex f : flows) {
     if (!path_shared_[f]) return false;
   }
 
-  solve_key_hash_ =
-      build_solve_key(affected_links_, affected_flows_, solve_key_);
+  solve_key_hash_ = build_solve_key(links, flows, solve_key_);
   if (const double* memo = find_cached_rates(solve_key_, solve_key_hash_)) {
-    for (std::size_t i = 0; i < affected_flows_.size(); ++i) {
-      rates_[affected_flows_[i]] = memo[i];
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      rates_[flows[i]] = memo[i];
     }
     ++result.solve_cache_hits;
     return true;
   }
   ++result.solve_cache_misses;
-  solve_insert_armed_ =
-      solve_key_arena_.size() + solve_key_.size() +
-          solve_rates_arena_.size() + affected_flows_.size() <=
-      kMaxSolveCacheWords;
+  solve_insert_armed_ = solve_key_arena_.size() + solve_key_.size() +
+                            solve_rates_arena_.size() + flows.size() <=
+                        options_.solve_cache_budget_words;
   return false;
 }
 
-void FlowEngine::solve_cache_insert() {
+void FlowEngine::solve_cache_insert(std::span<const FlowIndex> flows) {
   solve_insert_armed_ = false;
-  insert_solved_rates(solve_key_, solve_key_hash_, affected_flows_);
+  insert_solved_rates(solve_key_, solve_key_hash_, flows);
 }
 
 void FlowEngine::cancel_descendants(FlowIndex f, SimResult& result) {
@@ -739,6 +742,7 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
   // Link occupancy must be clean from the previous run.
   assert(std::all_of(link_active_count_.begin(), link_active_count_.end(),
                      [](std::uint32_t c) { return c == 0; }));
+  num_active_links_ = 0;
   std::fill(link_weight_sum_.begin(), link_weight_sum_.end(), 0.0);
   incidence_.reset(link_capacity_.size());
   std::fill(link_in_used_.begin(), link_in_used_.end(), 0);
@@ -850,6 +854,9 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
 
     std::chrono::steady_clock::time_point solve_start;
     if (options_.time_solver) solve_start = std::chrono::steady_clock::now();
+    // Flows whose rates this event's solve (re)wrote; the quantise and
+    // zero-rate recovery passes below enumerate exactly this set.
+    std::span<const FlowIndex> solved = active_flows_;
     if (parallel_active_) {
       // Same dirty-component closure as the serial incremental path, but
       // partitioned into per-component ranges and solved across the
@@ -857,22 +864,51 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
       // still BEFORE quantisation (see the serial branch below).
       collect_dirty_components_partitioned();
       if (!components_.empty()) parallel_solve(result);
+      solved = affected_flows_;
     } else if (incremental_) {
-      // Re-solve only the connected components touched by an occupancy
-      // change; untouched components keep their frozen rates, which a full
-      // solve would reproduce bit-for-bit (max-min independence — see
-      // DESIGN.md "Performance model").
-      collect_dirty_components();
-      if (!affected_flows_.empty() &&
-          (!solve_cache_active_ || !try_cached_solve(result))) {
-        result.solver_rounds += solver_.solve(ctx, affected_links_,
+      std::span<const LinkId> solve_links;
+      std::span<const FlowIndex> solve_flows;
+      if (2 * dirty_links_.size() >= num_active_links_) {
+        // Most of the live fabric is dirty (giant completion batches: the
+        // mapreduce shuffle dirties nearly every link every event), so the
+        // component BFS would walk the whole incidence only to rediscover
+        // "everything". Solve the whole active set directly instead — the
+        // engine maintains it incrementally — which reproduces what the
+        // component union would compute bit-for-bit: solving independent
+        // components together or apart is the same arithmetic (the freeze
+        // sequence is a pure function of component content, maxmin.hpp),
+        // and re-solving an untouched component regenerates its frozen
+        // rates exactly.
+        for (const LinkId l : dirty_links_) link_dirty_[l] = 0;
+        dirty_links_.clear();
+        std::erase_if(used_links_, [this](LinkId l) {
+          if (link_active_count_[l] > 0) return false;
+          link_in_used_[l] = 0;
+          return true;
+        });
+        solve_links = used_links_;
+        solve_flows = active_flows_;
+      } else {
+        // Re-solve only the connected components touched by an occupancy
+        // change; untouched components keep their frozen rates, which a
+        // full solve would reproduce bit-for-bit (max-min independence —
+        // see DESIGN.md "Performance model").
+        collect_dirty_components();
+        solve_links = affected_links_;
+        solve_flows = affected_flows_;
+      }
+      if (!solve_flows.empty() &&
+          (!solve_cache_active_ ||
+           !try_cached_solve(result, solve_links, solve_flows))) {
+        result.solver_rounds += solver_.solve(ctx, solve_links,
                                               link_weight_sum_,
-                                              affected_flows_, rates_);
+                                              solve_flows, rates_);
         // Memoize BEFORE quantisation: the quantiser below is a pure
         // per-flow function, so replaying raw rates through it on a future
         // hit lands on identical quantised values.
-        if (solve_insert_armed_) solve_cache_insert();
+        if (solve_insert_armed_) solve_cache_insert(solve_flows);
       }
+      solved = solve_flows;
     } else {
       // Prune stale used-link entries so the solver only seeds live links.
       std::erase_if(used_links_, [this](LinkId l) {
@@ -894,9 +930,7 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
     // Only freshly solved flows can have changed rate; untouched components
     // keep both their (positive) rates and their quantised values, exactly
     // as a full solve-and-requantise would recompute them.
-    const std::span<const FlowIndex> solved =
-        incremental_ ? std::span<const FlowIndex>(affected_flows_)
-                     : std::span<const FlowIndex>(active_flows_);
+    //
     // Quantise BEFORE the zero-rate recovery scan below: its `continue`
     // restarts the loop, and solved-but-skipped flows would otherwise keep
     // raw rates that only a full (non-incremental) re-solve would ever

@@ -153,6 +153,15 @@ struct EngineOptions {
   /// not). The cache persists across run() calls on the same engine, which
   /// is what makes repeated-program sweeps (ablations, figure drivers) hit.
   bool solve_cache = true;
+  /// Word budget for the solve cache's content + rate arenas (8 bytes per
+  /// word): insertion stops once storing another entry would exceed it, so
+  /// this bounds the cache's memory, not its lifetime. The default (8M
+  /// words = 64 MiB) suits fleets of engines solving small components;
+  /// steady-state sweep drivers replaying a few giant solves (the mapreduce
+  /// shuffle: ~8 MB of content per event) should raise it so a whole
+  /// program's solve sequence stays resident across run() calls — see
+  /// bench/perf_engine's --solve-cache-mb.
+  std::size_t solve_cache_budget_words = 8u << 20;
   /// Measure wall time spent in rate recomputation (dirty-component
   /// collection + solver) into SimResult::solve_seconds. Off by default:
   /// the clock reads cost more than a small component solve.
@@ -393,14 +402,16 @@ class FlowEngine {
   /// components': touches only rates_ slots of its own flows, its own
   /// component_* slots and the given per-worker solver scratch.
   void solve_component(std::size_t c, FairShareSolver<EngineContext>& solver);
-  /// Looks the affected component union up in the solve cache by exact
+  /// Looks the given component union up in the solve cache by exact
   /// content. On a hit writes the memoized rates into rates_ and returns
   /// true; on a cacheable miss arms solve_cache_insert(). Returns false
   /// (and stays unarmed) when any affected flow lacks a stable path
   /// identity (extent not owned by the route cache).
-  [[nodiscard]] bool try_cached_solve(SimResult& result);
+  [[nodiscard]] bool try_cached_solve(SimResult& result,
+                                      std::span<const LinkId> links,
+                                      std::span<const FlowIndex> flows);
   /// Stores the just-solved component's canonical content and rates.
-  void solve_cache_insert();
+  void solve_cache_insert(std::span<const FlowIndex> flows);
   /// Serialises (links, flows) into `key` in the given order — the exact
   /// blob layout of try_cached_solve — and returns its FNV-1a hash.
   std::uint64_t build_solve_key(std::span<const LinkId> links,
@@ -468,13 +479,12 @@ class FlowEngine {
   // verified word-for-word on lookup; the hash only picks the bucket, so a
   // collision can never replay wrong rates. Rates are stored positionally
   // (blob position i = discovery position i). Insertion stops at
-  // kMaxSolveCacheWords.
+  // EngineOptions::solve_cache_budget_words.
   struct SolveCacheEntry {
     std::uint64_t key_offset;
     std::uint32_t key_words;
     std::uint32_t rates_offset;
   };
-  static constexpr std::size_t kMaxSolveCacheWords = (64u << 20) / 8;
   std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>
       solve_cache_map_;
   std::vector<SolveCacheEntry> solve_cache_entries_;
@@ -523,6 +533,12 @@ class FlowEngine {
   std::vector<double> link_weight_sum_;  // weighted occupancy for the solver
   std::vector<LinkId> used_links_;  // links with active flows (lazily pruned)
   std::vector<std::uint8_t> link_in_used_;
+  /// Links with link_active_count_ > 0 right now. When most of them are
+  /// dirty at once (giant completion batches: the mapreduce shuffle), the
+  /// serial incremental path skips the component BFS and solves the whole
+  /// active set directly — same rates (max-min independence both ways),
+  /// fraction of the collection cost.
+  std::uint32_t num_active_links_ = 0;
   std::vector<double> link_bytes_;
 
   std::vector<FlowIndex> active_flows_;

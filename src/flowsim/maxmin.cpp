@@ -6,16 +6,21 @@ namespace nestflow {
 
 namespace {
 
-/// Plain-vector context for the reference solver.
+/// Reference context over a counted two-pass CSR link->flow table: one
+/// arena of flow indices with per-link [offset, offset+count) extents, so
+/// the 500-instance property sweeps and the auditor cross-checks stop
+/// paying one heap allocation per used link per call.
 struct ReferenceContext {
   std::span<const double> capacities;
   const std::vector<std::vector<LinkId>>* paths = nullptr;
-  const std::vector<std::vector<FlowIndex>>* flows_per_link = nullptr;
+  std::span<const std::uint32_t> link_offsets;  // size num_links + 1
+  std::span<const FlowIndex> link_flow_arena;
   std::span<const double> weights;
 
   [[nodiscard]] double capacity(LinkId l) const { return capacities[l]; }
   [[nodiscard]] std::span<const FlowIndex> link_flows(LinkId l) const {
-    return (*flows_per_link)[l];
+    return link_flow_arena.subspan(link_offsets[l],
+                                   link_offsets[l + 1] - link_offsets[l]);
   }
   [[nodiscard]] bool flow_active(FlowIndex) const { return true; }
   [[nodiscard]] std::span<const LinkId> flow_path(FlowIndex f) const {
@@ -49,9 +54,14 @@ std::vector<double> maxmin_fair_rates(
     }
   }
 
-  std::vector<std::vector<FlowIndex>> flows_per_link(num_links);
+  // Counted two-pass CSR fill of the link->flow incidence: pass 1 counts
+  // (validating as it goes), a prefix sum sizes one arena, pass 2 writes
+  // each flow into its links' extents in flow order — the same per-link
+  // enumeration order the old vector-of-vectors produced.
+  std::vector<std::uint32_t> link_offsets(num_links + 1, 0);
   std::vector<double> weight_sums(num_links, 0.0);
   std::vector<LinkId> used;
+  std::size_t total_path_words = 0;
   for (std::size_t f = 0; f < num_flows; ++f) {
     if (flow_paths[f].empty()) {
       throw std::invalid_argument("maxmin_fair_rates: flow with empty path");
@@ -63,7 +73,19 @@ std::vector<double> maxmin_fair_rates(
       }
       if (weight_sums[l] == 0.0) used.push_back(l);
       weight_sums[l] += weight;
-      flows_per_link[l].push_back(static_cast<FlowIndex>(f));
+      ++link_offsets[l + 1];
+      ++total_path_words;
+    }
+  }
+  for (std::size_t l = 0; l < num_links; ++l) {
+    link_offsets[l + 1] += link_offsets[l];
+  }
+  std::vector<FlowIndex> link_flow_arena(total_path_words);
+  std::vector<std::uint32_t> fill = {link_offsets.begin(),
+                                     link_offsets.end() - 1};
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    for (const LinkId l : flow_paths[f]) {
+      link_flow_arena[fill[l]++] = static_cast<FlowIndex>(f);
     }
   }
 
@@ -72,8 +94,8 @@ std::vector<double> maxmin_fair_rates(
     active[f] = static_cast<FlowIndex>(f);
   }
 
-  ReferenceContext ctx{link_capacities, &flow_paths, &flows_per_link,
-                       flow_weights};
+  ReferenceContext ctx{link_capacities, &flow_paths, link_offsets,
+                       link_flow_arena, flow_weights};
   FairShareSolver<ReferenceContext> solver;
   solver.resize(num_links, num_flows);
   std::vector<double> rates(num_flows, 0.0);

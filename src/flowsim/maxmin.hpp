@@ -19,6 +19,24 @@
 // bandwidth, which keeps a solve at O(P + U log U) instead of
 // O(P log U) heap traffic (P = total active path length, U = used links).
 //
+// Batched water-filling: symmetric workloads (the mapreduce shuffle, any
+// permutation on a regular topology) produce MANY links whose fresh shares
+// are bitwise equal at the global minimum. Freezing them one heap pop at a
+// time re-walks every frozen flow's path once per bottleneck and pays a
+// pop/re-push cycle per tied link. Instead, each round (a) identifies the
+// minimum share s* by lazy revalidation as before, (b) harvests every
+// other link whose FRESH share ties s* (all their keys are <= their fresh
+// share <= s*-tied values, so draining keys <= s* finds them all), and
+// (c) freezes the whole batch in ascending link-id order — the exact order
+// the serial pops would have used, keeping the freeze sequence a pure
+// function of component content. Frozen bandwidth is subtracted through a
+// per-link DEFERRED-DELTA accumulator: path links that are themselves in
+// the batch are skipped entirely (their weight sums are zeroed wholesale),
+// and each surviving link receives one accumulated subtraction per round
+// instead of one per frozen flow. On an all-tied shuffle solve this
+// collapses tens of thousands of rounds into a handful of batches with
+// near-zero subtraction traffic.
+//
 // The solver is a template over a context type so the one algorithm serves
 // both the event engine (structure-of-arrays, incremental link occupancy)
 // and a simple reference entry point used by tests:
@@ -68,8 +86,9 @@ class FairShareSolver {
  public:
   /// Scratch arrays are sized on first use and reused across solves.
   void resize(std::size_t num_links, std::size_t num_flows) {
-    cap_rem_.resize(num_links);
-    weight_sum_.resize(num_links);
+    state_.resize(2 * num_links);
+    delta_.resize(2 * num_links, 0.0);
+    in_batch_.resize(num_links, 0);
     frozen_.resize(num_flows);
   }
 
@@ -88,9 +107,9 @@ class FairShareSolver {
     for (const LinkId l : used_links) {
       const double weights = link_weight_sum[l];
       if (weights <= 0.0) continue;
-      cap_rem_[l] = ctx.capacity(l);
-      weight_sum_[l] = weights;
-      heap_.push_back(Entry{cap_rem_[l] / weights, l});
+      state_[2 * l] = ctx.capacity(l);
+      state_[2 * l + 1] = weights;
+      heap_.push_back(Entry{state_[2 * l] / weights, l});
     }
     std::make_heap(heap_.begin(), heap_.end());
 
@@ -100,7 +119,7 @@ class FairShareSolver {
       const LinkId l = heap_.back().link;
       heap_.pop_back();
       // Fully frozen via other bottlenecks (floor absorbs FP dust).
-      if (weight_sum_[l] <= kWeightEpsilon) continue;
+      if (state_[2 * l + 1] <= kWeightEpsilon) continue;
       const double share = fair_share(l, ctx.capacity(l));
       if (!heap_.empty() && Entry{share, l} < heap_.front()) {
         // Stale key: the link's fresh (share, id) priority dropped below the
@@ -115,20 +134,74 @@ class FairShareSolver {
         std::push_heap(heap_.begin(), heap_.end());
         continue;
       }
-      // share is <= every other link's current share: l is the bottleneck.
-      ++rounds;
-      for (const FlowIndex f : ctx.link_flows(l)) {
-        if (!ctx.flow_active(f) || frozen_[f]) continue;
-        frozen_[f] = 1;
-        const double weight = ctx.flow_weight(f);
-        rates[f] = share * weight;
-        for (const LinkId l2 : ctx.flow_path(f)) {
-          if (l2 == l) continue;
-          cap_rem_[l2] -= rates[f];
-          weight_sum_[l2] -= weight;  // shares only grow; keys stay valid
+      // share is <= every other link's current fresh share: l leads the
+      // round. Harvest every link tied with it. Any live link's keys
+      // lower-bound its fresh share (shares only grow), and fresh shares
+      // are >= share (the phase above certified share <= heap front <=
+      // every key), so draining keys <= share pops every tied link at
+      // least once. Non-tied links popped here re-enter with their fresh
+      // key (> share) and are not seen again this round; duplicate keys of
+      // links already in the batch are dropped via in_batch_.
+      batch_.clear();
+      batch_.push_back(l);
+      in_batch_[l] = 1;
+      while (!heap_.empty() && !(heap_.front().share > share)) {
+        std::pop_heap(heap_.begin(), heap_.end());
+        const LinkId cand = heap_.back().link;
+        heap_.pop_back();
+        if (in_batch_[cand] || state_[2 * cand + 1] <= kWeightEpsilon) {
+          continue;
+        }
+        const double fresh = fair_share(cand, ctx.capacity(cand));
+        if (fresh == share) {
+          batch_.push_back(cand);
+          in_batch_[cand] = 1;
+        } else {
+          heap_.push_back(Entry{fresh, cand});
+          std::push_heap(heap_.begin(), heap_.end());
         }
       }
-      weight_sum_[l] = 0.0;
+      // Freeze the batch in ascending link id — the order serial pops
+      // would visit equal-share entries — so the freeze sequence (and the
+      // delta accumulation order below) stays a pure function of component
+      // content: a component solved in isolation forms the same batches,
+      // in the same order, as it does inside a whole-network solve.
+      std::sort(batch_.begin(), batch_.end());
+      rounds += batch_.size();
+      for (const LinkId bl : batch_) {
+        for (const FlowIndex f : ctx.link_flows(bl)) {
+          if (!ctx.flow_active(f) || frozen_[f]) continue;
+          frozen_[f] = 1;
+          const double weight = ctx.flow_weight(f);
+          const double rate = share * weight;
+          rates[f] = rate;
+          for (const LinkId l2 : ctx.flow_path(f)) {
+            if (in_batch_[l2]) continue;  // zeroed wholesale below
+            // delta_ interleaves (cap, weight) per link so each
+            // accumulation touches one cache line; a zero weight slot
+            // doubles as the "first touch this round" flag (weights are
+            // strictly positive, so a touched slot can never read 0).
+            double* const d = &delta_[2 * l2];
+            if (d[1] == 0.0) touched_.push_back(l2);
+            d[0] += rate;
+            d[1] += weight;
+          }
+        }
+      }
+      // One deferred subtraction per surviving link; shares still only
+      // grow, so outstanding heap keys remain valid lower bounds.
+      for (const LinkId l2 : touched_) {
+        double* const d = &delta_[2 * l2];
+        state_[2 * l2] -= d[0];
+        state_[2 * l2 + 1] -= d[1];
+        d[0] = 0.0;
+        d[1] = 0.0;
+      }
+      touched_.clear();
+      for (const LinkId bl : batch_) {
+        state_[2 * bl + 1] = 0.0;
+        in_batch_[bl] = 0;
+      }
     }
     return rounds;
   }
@@ -149,14 +222,23 @@ class FairShareSolver {
   static constexpr double kWeightEpsilon = 1e-9;
 
   /// Remaining per-unit-weight share of a link, floored at a tiny positive
-  /// fraction of its capacity: floating-point drift can push cap_rem_ a
-  /// hair negative, and a zero share would stall the event loop.
+  /// fraction of its capacity: floating-point drift can push the remaining
+  /// capacity a hair negative, and a zero share would stall the event loop.
   [[nodiscard]] double fair_share(LinkId l, double capacity) const noexcept {
-    return std::max(cap_rem_[l], capacity * 1e-12) / weight_sum_[l];
+    return std::max(state_[2 * l], capacity * 1e-12) / state_[2 * l + 1];
   }
 
-  std::vector<double> cap_rem_;
-  std::vector<double> weight_sum_;
+  // Hot per-link state, interleaved so one cache line serves both halves:
+  // state_[2l] = remaining capacity, state_[2l+1] = unfrozen weight sum.
+  std::vector<double> state_;
+  // Batched-round scratch: links frozen this round, the in-batch mask, and
+  // the deferred-delta accumulator (delta_[2l] = capacity delta, delta_[2l+1]
+  // = weight delta; both held at 0.0 between rounds, the weight slot doubling
+  // as the touched_ membership flag).
+  std::vector<LinkId> batch_;
+  std::vector<LinkId> touched_;
+  std::vector<double> delta_;
+  std::vector<std::uint8_t> in_batch_;
   std::vector<std::uint8_t> frozen_;
   std::vector<Entry> heap_;
 };

@@ -198,4 +198,24 @@ DistanceReport sampled_routed_report(
   return report;
 }
 
+DistanceReport auto_distance_report(const Graph& graph, std::uint64_t seed,
+                                    ThreadPool* pool) {
+  if (graph.num_endpoints() <= kAutoExactEndpointLimit) {
+    return exact_distance_report(graph);
+  }
+  return sampled_distance_report(graph, kAutoSampleSources, seed, pool);
+}
+
+DistanceReport auto_routed_report(
+    std::uint32_t num_endpoints, const RouteLengthFn& route_len,
+    std::uint64_t seed,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>&
+        adversarial_pairs) {
+  if (num_endpoints <= kAutoExactEndpointLimit) {
+    return exact_routed_report(num_endpoints, route_len);
+  }
+  return sampled_routed_report(num_endpoints, route_len, kAutoSamplePairs,
+                               seed, adversarial_pairs);
+}
+
 }  // namespace nestflow

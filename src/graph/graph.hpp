@@ -127,6 +127,13 @@ class GraphBuilder {
   [[nodiscard]] std::uint32_t num_nodes() const noexcept {
     return static_cast<std::uint32_t>(kinds_.size());
   }
+  /// Transit links added so far. Tiers snapshot this before wiring: link ids
+  /// are issued sequentially and a duplex cable's reverse is `id + 1`, so a
+  /// recorded base plus a cable ordinal reconstructs any link id
+  /// arithmetically (see the closed-form route paths in src/topo).
+  [[nodiscard]] std::uint32_t num_links() const noexcept {
+    return static_cast<std::uint32_t>(links_.size());
+  }
 
   /// Finalises into an immutable Graph. Every endpoint receives injection
   /// and consumption links of `nic_capacity_bps`. The builder is consumed.

@@ -1,6 +1,7 @@
 #include "topo/fattree.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <limits>
 #include <sstream>
@@ -14,6 +15,9 @@ FattreeTier::FattreeTier(GraphBuilder& builder, std::vector<NodeId> leaves,
     : leaves_(std::move(leaves)), arities_(std::move(down_arities)) {
   if (arities_.empty()) {
     throw std::invalid_argument("FattreeTier: need >= 1 stage");
+  }
+  if (arities_.size() > kMaxStages) {
+    throw std::invalid_argument("FattreeTier: too many stages");
   }
   for (const auto d : arities_) {
     if (d < 2) throw std::invalid_argument("FattreeTier: arity must be >= 2");
@@ -36,11 +40,15 @@ FattreeTier::FattreeTier(GraphBuilder& builder, std::vector<NodeId> leaves,
   }
 
   // Leaf -> stage-1 links.
+  first_link_ = builder.num_links();
   std::vector<std::uint32_t> digits(n);
   for (std::uint32_t leaf = 0; leaf < num_leaves; ++leaf) {
     decode_leaf(leaf, digits);
-    builder.add_duplex(leaves_[leaf], switch_node(1, switch_label(digits, 1)),
-                       link_bps, leaf_link_class);
+    const LinkId id = builder.add_duplex(
+        leaves_[leaf], switch_node(1, switch_label(digits, 1)), link_bps,
+        leaf_link_class);
+    assert(id == leaf_link_id(leaf));
+    (void)id;
   }
 
   // Stage s -> stage s+1 links. A stage-s switch A connects to the
@@ -63,9 +71,12 @@ FattreeTier::FattreeTier(GraphBuilder& builder, std::vector<NodeId> leaves,
       b_digits = a_digits;
       for (std::uint32_t v = 0; v < arities_[s - 1]; ++v) {
         b_digits[s - 1] = v;  // position s fixed in the upper switch's label
-        builder.add_duplex(switch_node(s, label),
-                           switch_node(s + 1, switch_label(b_digits, s + 1)),
-                           link_bps, LinkClass::kUpper);
+        const LinkId id = builder.add_duplex(
+            switch_node(s, label),
+            switch_node(s + 1, switch_label(b_digits, s + 1)), link_bps,
+            LinkClass::kUpper);
+        assert(id == up_link_id(s, label, v));
+        (void)id;
       }
     }
   }
@@ -80,7 +91,7 @@ void FattreeTier::decode_leaf(std::uint32_t leaf,
   }
 }
 
-std::uint32_t FattreeTier::switch_label(const std::vector<std::uint32_t>& digits,
+std::uint32_t FattreeTier::switch_label(std::span<const std::uint32_t> digits,
                                         std::uint32_t stage) const {
   // Mixed-radix flattening over positions 1..n excluding `stage`,
   // ascending, position (stage==1 ? 2 : 1) least significant.
@@ -109,6 +120,68 @@ std::uint64_t FattreeTier::num_switches() const noexcept {
 void FattreeTier::route(const Graph& graph, std::uint32_t leaf_src,
                         std::uint32_t leaf_dst, Path& path,
                         const LinkLoads* loads) const {
+  (void)graph;  // kept for signature compatibility; ids are closed-form
+  if (leaf_src == leaf_dst) return;
+  const auto n = num_stages();
+  assert(n <= kMaxStages);
+  std::array<std::uint32_t, kMaxStages> src_digits, dst_digits;
+  {
+    std::uint32_t rest_src = leaf_src, rest_dst = leaf_dst;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      src_digits[i] = rest_src % arities_[i];
+      rest_src /= arities_[i];
+      dst_digits[i] = rest_dst % arities_[i];
+      rest_dst /= arities_[i];
+    }
+  }
+  std::uint32_t m = 0;  // nearest-common-ancestor stage (1-based)
+  for (std::uint32_t pos = n; pos >= 1; --pos) {
+    if (src_digits[pos - 1] != dst_digits[pos - 1]) {
+      m = pos;
+      break;
+    }
+  }
+  assert(m >= 1);
+
+  // Same digit walk as route_lookup, but every hop's link id follows from
+  // the wiring layout: stage pair s spans ids [first + 2*U*s,
+  // first + 2*U*(s+1)), cable ordinal = lower label * d_s + free digit.
+  std::array<std::uint32_t, kMaxStages> w = src_digits;
+  std::uint32_t label = switch_label({w.data(), n}, 1);
+  path.links.push_back(leaf_link_id(leaf_src));
+  for (std::uint32_t s = 1; s < m; ++s) {  // ascend to stage m
+    std::uint32_t choice = dst_digits[s - 1];
+    if (loads != nullptr) {
+      // Cheapest of the d_s candidate up-links, probed starting at the
+      // d-mod-k digit so unloaded routing matches the deterministic path.
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (std::uint32_t v = 0; v < arities_[s - 1]; ++v) {
+        const std::uint32_t digit = (dst_digits[s - 1] + v) % arities_[s - 1];
+        const double cost = loads->cost(up_link_id(s, label, digit));
+        if (cost < best_cost) {
+          best_cost = cost;
+          choice = digit;
+        }
+      }
+    }
+    path.links.push_back(up_link_id(s, label, choice));
+    w[s - 1] = choice;
+    label = switch_label({w.data(), n}, s + 1);
+  }
+  for (std::uint32_t s = m; s >= 2; --s) {  // descend to stage 1
+    w[s - 1] = dst_digits[s - 1];
+    const std::uint32_t lower = switch_label({w.data(), n}, s - 1);
+    // The down hop reverses the lower switch's up cable whose free digit
+    // is the current (upper) switch's position-(s-1) digit.
+    path.links.push_back(up_link_id(s - 1, lower, w[s - 2]) + 1);
+    label = lower;
+  }
+  path.links.push_back(leaf_link_id(leaf_dst) + 1);
+}
+
+void FattreeTier::route_lookup(const Graph& graph, std::uint32_t leaf_src,
+                               std::uint32_t leaf_dst, Path& path,
+                               const LinkLoads* loads) const {
   if (leaf_src == leaf_dst) return;
   const auto n = num_stages();
   std::vector<std::uint32_t> src_digits(n), dst_digits(n);
@@ -127,7 +200,7 @@ void FattreeTier::route(const Graph& graph, std::uint32_t leaf_src,
   const auto hop = [&](NodeId from, NodeId to) {
     const LinkId l = graph.find_link(from, to);
     if (l == kInvalidLink) {
-      throw std::logic_error("FattreeTier::route: missing link");
+      throw std::logic_error("FattreeTier::route_lookup: missing link");
     }
     path.links.push_back(l);
     return l;

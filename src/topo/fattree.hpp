@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "topo/topology.hpp"
@@ -40,9 +41,31 @@ class FattreeTier {
   /// `loads` is non-null, each ascent step picks the least-loaded up-link
   /// among the d_s candidates (ties prefer the destination digit, i.e. the
   /// deterministic d-mod-k choice); descent is always destination-routed.
+  /// Link ids are computed arithmetically from the wiring layout (every
+  /// stage pair emits exactly num_leaves() cables, label-major); the graph
+  /// is not consulted.
   void route(const Graph& graph, std::uint32_t leaf_src,
              std::uint32_t leaf_dst, Path& path,
              const LinkLoads* loads = nullptr) const;
+
+  /// Reference implementation of route() via graph.find_link, kept for the
+  /// arithmetic-equivalence tests (test_arith_routes).
+  void route_lookup(const Graph& graph, std::uint32_t leaf_src,
+                    std::uint32_t leaf_dst, Path& path,
+                    const LinkLoads* loads = nullptr) const;
+
+  /// Closed-form id of the leaf -> stage-1 link; the reverse is `+ 1`.
+  [[nodiscard]] LinkId leaf_link_id(std::uint32_t leaf) const noexcept {
+    return first_link_ + 2 * leaf;
+  }
+  /// Closed-form id of the stage-s -> stage-(s+1) link from the stage-s
+  /// switch `label` through up-port digit `v` (the upper switch's
+  /// position-s digit); the reverse is `+ 1`.
+  [[nodiscard]] LinkId up_link_id(std::uint32_t stage, std::uint32_t label,
+                                  std::uint32_t v) const noexcept {
+    return first_link_ + 2 * num_leaves() * stage +
+           2 * (label * arities_[stage - 1] + v);
+  }
 
   /// Hops route() will take: 2 * (highest differing digit position + 1).
   [[nodiscard]] std::uint32_t route_distance(std::uint32_t leaf_src,
@@ -64,15 +87,20 @@ class FattreeTier {
   [[nodiscard]] NodeId switch_node(std::uint32_t stage,
                                    std::uint32_t label) const;
 
+  /// Stage-count ceiling for the fixed-size digit scratch route() uses
+  /// (leaves fit a std::uint32_t and arities are >= 2, so 32 always holds).
+  static constexpr std::uint32_t kMaxStages = 32;
+
  private:
   void decode_leaf(std::uint32_t leaf, std::vector<std::uint32_t>& digits) const;
   [[nodiscard]] std::uint32_t switch_label(
-      const std::vector<std::uint32_t>& digits, std::uint32_t stage) const;
+      std::span<const std::uint32_t> digits, std::uint32_t stage) const;
 
   std::vector<NodeId> leaves_;
   std::vector<std::uint32_t> arities_;       // d_1 .. d_n
   std::vector<NodeId> stage_first_switch_;   // per stage (0-based entry s-1)
   std::vector<std::uint32_t> stage_count_;   // switches per stage
+  LinkId first_link_ = 0;                    // first leaf-to-stage-1 cable
 };
 
 /// The arity rule the paper's Table 2 switch counts follow: stages of down

@@ -26,12 +26,20 @@ GhcTier::GhcTier(GraphBuilder& builder, std::vector<NodeId> servers,
     dim_first_switch_[dim] =
         builder.add_nodes(NodeKind::kSwitch, dim_group_count_[dim]);
   }
+  live_ordinal_.assign(n, 0);
+  for (std::uint32_t dim = 0; dim < n; ++dim) {
+    live_ordinal_[dim] = num_live_dims_;
+    if (shape_.dims()[dim] >= 2) ++num_live_dims_;
+  }
+  first_link_ = builder.num_links();
   for (std::uint32_t server = 0; server < shape_.size(); ++server) {
     for (std::uint32_t dim = 0; dim < n; ++dim) {
       if (shape_.dims()[dim] < 2) continue;
-      builder.add_duplex(servers_[server],
-                         switch_node(dim, group_of(server, dim)), link_bps,
-                         server_link_class);
+      const LinkId id = builder.add_duplex(
+          servers_[server], switch_node(dim, group_of(server, dim)), link_bps,
+          server_link_class);
+      assert(id == uplink_id(server, dim));
+      (void)id;
     }
   }
 }
@@ -61,11 +69,28 @@ std::uint64_t GhcTier::num_switches() const noexcept {
 
 void GhcTier::route(const Graph& graph, std::uint32_t src, std::uint32_t dst,
                     Path& path) const {
+  (void)graph;  // kept for signature compatibility; ids are closed-form
+  if (src == dst) return;
+  std::uint32_t current = src;
+  for (std::uint32_t dim = 0; dim < shape_.num_dims(); ++dim) {
+    const std::uint32_t cur_digit = shape_.coord(current, dim);
+    const std::uint32_t dst_digit = shape_.coord(dst, dim);
+    if (cur_digit == dst_digit) continue;
+    const std::uint32_t next =
+        current + (dst_digit - cur_digit) * shape_.stride(dim);
+    path.links.push_back(uplink_id(current, dim));      // server -> switch
+    path.links.push_back(uplink_id(next, dim) + 1);     // switch -> server
+    current = next;
+  }
+}
+
+void GhcTier::route_lookup(const Graph& graph, std::uint32_t src,
+                           std::uint32_t dst, Path& path) const {
   if (src == dst) return;
   const auto hop = [&](NodeId from, NodeId to) {
     const LinkId l = graph.find_link(from, to);
     if (l == kInvalidLink) {
-      throw std::logic_error("GhcTier::route: missing link");
+      throw std::logic_error("GhcTier::route_lookup: missing link");
     }
     path.links.push_back(l);
   };
@@ -74,9 +99,8 @@ void GhcTier::route(const Graph& graph, std::uint32_t src, std::uint32_t dst,
     const std::uint32_t cur_digit = shape_.coord(current, dim);
     const std::uint32_t dst_digit = shape_.coord(dst, dim);
     if (cur_digit == dst_digit) continue;
-    std::uint32_t stride = 1;
-    for (std::uint32_t i = 0; i < dim; ++i) stride *= shape_.dims()[i];
-    const std::uint32_t next = current + (dst_digit - cur_digit) * stride;
+    const std::uint32_t next =
+        current + (dst_digit - cur_digit) * shape_.stride(dim);
     const NodeId sw = switch_node(dim, group_of(current, dim));
     hop(servers_[current], sw);
     hop(sw, servers_[next]);

@@ -36,9 +36,23 @@ class GhcTier {
           std::vector<std::uint32_t> dims, double link_bps,
           LinkClass server_link_class);
 
-  /// Appends the e-cube route between two distinct server indices.
+  /// Appends the e-cube route between two distinct server indices. Link
+  /// ids are computed arithmetically from the wiring layout (one cable per
+  /// (server, live dimension), server-major); the graph is not consulted.
   void route(const Graph& graph, std::uint32_t src, std::uint32_t dst,
              Path& path) const;
+
+  /// Reference implementation of route() via graph.find_link, kept for the
+  /// arithmetic-equivalence tests (test_arith_routes).
+  void route_lookup(const Graph& graph, std::uint32_t src, std::uint32_t dst,
+                    Path& path) const;
+
+  /// Closed-form id of the server -> dimension-switch link; the reverse
+  /// direction is `+ 1`. `dim` must be a live (size >= 2) dimension.
+  [[nodiscard]] LinkId uplink_id(std::uint32_t server,
+                                 std::uint32_t dim) const noexcept {
+    return first_link_ + 2 * (server * num_live_dims_ + live_ordinal_[dim]);
+  }
 
   /// Hops route() takes: 2 * (number of differing digits).
   [[nodiscard]] std::uint32_t route_distance(std::uint32_t src,
@@ -62,6 +76,9 @@ class GhcTier {
   GridShape shape_;
   std::vector<NodeId> dim_first_switch_;     // kInvalidNode for size-1 dims
   std::vector<std::uint32_t> dim_group_count_;
+  LinkId first_link_ = 0;                    // first server-switch cable
+  std::uint32_t num_live_dims_ = 0;          // dims with size >= 2
+  std::vector<std::uint32_t> live_ordinal_;  // rank among live dims
 };
 
 /// The most-balanced d-way power-of-two factorisation, ascending

@@ -106,8 +106,15 @@ NestedTopology::NestedTopology(NestedConfig config)
   // x-major over the *global* grid, so map local indices through the global
   // coordinate system.
   const std::uint32_t t = config_.t;
+  subtorus_cables_ = torus_num_cables(subtorus_shape_);
   std::array<std::uint32_t, 3> sub_coords{};
   for (std::uint32_t sub = 0; sub < subtorus_grid_.size(); ++sub) {
+    // The loop below emits cables in ascending local x-major index with
+    // dimensions ascending per node — exactly wire_torus's order over the
+    // t^3 shape — so subtorus `sub` owns the contiguous link range
+    // [2 * subtorus_cables_ * sub, 2 * subtorus_cables_ * (sub + 1)) and
+    // route_within_subtorus can reconstruct hop ids arithmetically.
+    assert(builder.num_links() == 2 * subtorus_cables_ * sub);
     subtorus_grid_.coords_of(sub, sub_coords);
     const std::array<std::uint32_t, 3> base = {
         sub_coords[0] * t, sub_coords[1] * t, sub_coords[2] * t};
@@ -213,6 +220,18 @@ void NestedTopology::route_within_subtorus(std::uint32_t src,
                                            std::uint32_t dst,
                                            Path& path) const {
   if (src == dst) return;
+  // DOR on local coordinates with closed-form link ids: the subtorus owns a
+  // contiguous block of cables laid out in wire_torus order (see the
+  // constructor), so the local walk never touches the graph.
+  route_torus_dor_arith(subtorus_shape_,
+                        2 * subtorus_cables_ * subtorus_of(src),
+                        local_index(src), local_index(dst), path);
+}
+
+void NestedTopology::route_within_subtorus_lookup(std::uint32_t src,
+                                                  std::uint32_t dst,
+                                                  Path& path) const {
+  if (src == dst) return;
   // DOR on local coordinates; each local step is translated back into a
   // global node pair to find the physical link.
   const std::uint32_t t = config_.t;
@@ -267,6 +286,25 @@ void NestedTopology::route_impl(std::uint32_t src, std::uint32_t dst,
     ghc_->route(graph(), uplink_rank_[a], uplink_rank_[b], path);
   }
   route_within_subtorus(b, dst, path);
+}
+
+void NestedTopology::route_lookup(std::uint32_t src, std::uint32_t dst,
+                                  Path& path) const {
+  path.clear();
+  if (src == dst) return;
+  if (subtorus_of(src) == subtorus_of(dst)) {
+    route_within_subtorus_lookup(src, dst, path);
+    return;
+  }
+  const std::uint32_t a = designated_uplink_[src];
+  const std::uint32_t b = designated_uplink_[dst];
+  route_within_subtorus_lookup(src, a, path);
+  if (fattree_) {
+    fattree_->route_lookup(graph(), uplink_rank_[a], uplink_rank_[b], path);
+  } else {
+    ghc_->route_lookup(graph(), uplink_rank_[a], uplink_rank_[b], path);
+  }
+  route_within_subtorus_lookup(b, dst, path);
 }
 
 std::uint32_t NestedTopology::route_distance(std::uint32_t src,

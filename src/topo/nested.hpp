@@ -104,6 +104,9 @@ class NestedTopology final : public Topology {
   /// subtorus DOR and GHC e-cube segments stay deterministic.
   void route_adaptive(std::uint32_t src, std::uint32_t dst, Path& path,
                       const LinkLoads& loads) const override;
+  /// Reference implementation of route() via graph lookups in every
+  /// segment, kept for the arithmetic-equivalence tests (test_arith_routes).
+  void route_lookup(std::uint32_t src, std::uint32_t dst, Path& path) const;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>>
   adversarial_pairs() const override;
@@ -118,6 +121,8 @@ class NestedTopology final : public Topology {
   /// DOR between two endpoints of the same subtorus, in local index space.
   void route_within_subtorus(std::uint32_t src, std::uint32_t dst,
                              Path& path) const;
+  void route_within_subtorus_lookup(std::uint32_t src, std::uint32_t dst,
+                                    Path& path) const;
   [[nodiscard]] std::uint32_t local_index(std::uint32_t endpoint) const;
   [[nodiscard]] std::uint32_t subtorus_first_node(std::uint32_t subtorus) const;
 
@@ -128,6 +133,7 @@ class NestedTopology final : public Topology {
   std::vector<std::uint32_t> uplink_rank_;        // per endpoint
   std::vector<std::uint32_t> designated_uplink_;  // per endpoint
   std::vector<std::uint32_t> uplinked_nodes_;     // rank -> endpoint
+  std::uint32_t subtorus_cables_ = 0;             // duplex cables per subtorus
   // Maps a global endpoint id to its subtorus-local linear index and back:
   // endpoints are numbered x-major over the *global* grid, while subtorus
   // wiring and DOR work on local t^3 indices.

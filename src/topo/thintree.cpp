@@ -41,19 +41,26 @@ ThinTreeTopology::ThinTreeTopology(Params params) : params_(params) {
   }
 
   // Leaf -> stage-1 links: leaf's subtree index is its digits 2..n.
+  first_link_ = builder.num_links();
   for (std::uint32_t leaf = 0; leaf < leaves; ++leaf) {
-    builder.add_duplex(leaf, switch_node(1, leaf / k, 0), params_.link_bps,
-                       LinkClass::kUplink);
+    const LinkId id = builder.add_duplex(leaf, switch_node(1, leaf / k, 0),
+                                         params_.link_bps, LinkClass::kUplink);
+    assert(id == first_link_ + 2 * leaf);
+    (void)id;
   }
   // Stage s -> s+1: (A, B) connects up to ((A without its lowest digit),
   // B*k' + c) for c in [0, k').
+  stage_pair_first_.resize(n);
   for (std::uint32_t s = 1; s < n; ++s) {
+    stage_pair_first_[s - 1] = builder.num_links();
     for (std::uint32_t a = 0; a < stage_a_count_[s - 1]; ++a) {
       for (std::uint32_t b = 0; b < stage_b_count_[s - 1]; ++b) {
         for (std::uint32_t c = 0; c < k_up; ++c) {
-          builder.add_duplex(switch_node(s, a, b),
-                             switch_node(s + 1, a / k, b * k_up + c),
-                             params_.link_bps, LinkClass::kUpper);
+          const LinkId id = builder.add_duplex(
+              switch_node(s, a, b), switch_node(s + 1, a / k, b * k_up + c),
+              params_.link_bps, LinkClass::kUpper);
+          assert(id == up_link_id(s, a, b, c));
+          (void)id;
         }
       }
     }
@@ -95,6 +102,59 @@ std::uint32_t ThinTreeTopology::switches_at_stage(std::uint32_t stage) const {
 
 void ThinTreeTopology::route_impl(std::uint32_t src, std::uint32_t dst,
                                   Path& path, const LinkLoads* loads) const {
+  path.clear();
+  if (src == dst) return;
+  const auto k = params_.k;
+  const auto k_up = params_.k_up;
+  const auto n = params_.levels;
+
+  std::uint32_t m = n;  // nearest-common-ancestor stage
+  while (m > 1 && leaf_digit(src, m) == leaf_digit(dst, m)) --m;
+
+  // Same (a, b) index walk as route_lookup_impl, with every hop's link id
+  // reconstructed from the wiring layout instead of graph lookups.
+  std::uint32_t a = src / k;
+  std::uint32_t b = 0;
+  path.links.push_back(first_link_ + 2 * src);
+  for (std::uint32_t s = 1; s < m; ++s) {
+    std::uint32_t c = leaf_digit(dst, s) % k_up;  // deterministic default
+    if (loads != nullptr && k_up > 1) {
+      double best_cost = std::numeric_limits<double>::infinity();
+      std::uint32_t best_c = c;
+      for (std::uint32_t probe = 0; probe < k_up; ++probe) {
+        const std::uint32_t candidate = (c + probe) % k_up;
+        const double cost = loads->cost(up_link_id(s, a, b, candidate));
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_c = candidate;
+        }
+      }
+      c = best_c;
+    }
+    path.links.push_back(up_link_id(s, a, b, c));
+    a /= k;
+    b = b * k_up + c;
+  }
+  for (std::uint32_t s = m; s >= 2; --s) {
+    // Descend via the lower switch's up cable whose copy digit is the one
+    // being dropped from b.
+    const std::uint32_t lower_a = a * k + leaf_digit(dst, s);
+    const std::uint32_t lower_b = b / k_up;
+    path.links.push_back(up_link_id(s - 1, lower_a, lower_b, b % k_up) + 1);
+    a = lower_a;
+    b = lower_b;
+  }
+  path.links.push_back(first_link_ + 2 * dst + 1);
+}
+
+void ThinTreeTopology::route_lookup(std::uint32_t src, std::uint32_t dst,
+                                    Path& path, const LinkLoads* loads) const {
+  route_lookup_impl(src, dst, path, loads);
+}
+
+void ThinTreeTopology::route_lookup_impl(std::uint32_t src, std::uint32_t dst,
+                                         Path& path,
+                                         const LinkLoads* loads) const {
   path.clear();
   if (src == dst) return;
   const auto k = params_.k;

@@ -43,6 +43,10 @@ class ThinTreeTopology final : public Topology {
   void route(std::uint32_t src, std::uint32_t dst, Path& path) const override;
   void route_adaptive(std::uint32_t src, std::uint32_t dst, Path& path,
                       const LinkLoads& loads) const override;
+  /// Reference implementation of route() via graph lookups (append_hop),
+  /// kept for the arithmetic-equivalence tests (test_arith_routes).
+  void route_lookup(std::uint32_t src, std::uint32_t dst, Path& path,
+                    const LinkLoads* loads = nullptr) const;
   [[nodiscard]] std::uint32_t route_distance(std::uint32_t src,
                                              std::uint32_t dst) const override;
   [[nodiscard]] std::string name() const override;
@@ -52,6 +56,19 @@ class ThinTreeTopology final : public Topology {
  private:
   void route_impl(std::uint32_t src, std::uint32_t dst, Path& path,
                   const LinkLoads* loads) const;
+  void route_lookup_impl(std::uint32_t src, std::uint32_t dst, Path& path,
+                         const LinkLoads* loads) const;
+  /// Closed-form id of the stage-s switch (a, b) -> stage-(s+1) link
+  /// through copy digit `c`; the reverse is `+ 1`. Stage pair s emits its
+  /// cables (a-major, then b, then c) starting at stage_pair_first_[s - 1].
+  [[nodiscard]] LinkId up_link_id(std::uint32_t stage, std::uint32_t a_index,
+                                  std::uint32_t b_index,
+                                  std::uint32_t c) const noexcept {
+    return stage_pair_first_[stage - 1] +
+           2 * ((a_index * stage_b_count_[stage - 1] + b_index) *
+                    params_.k_up +
+                c);
+  }
   /// Node id of the stage-s switch with subtree index A and copy index B.
   [[nodiscard]] NodeId switch_node(std::uint32_t stage, std::uint32_t a_index,
                                    std::uint32_t b_index) const;
@@ -63,6 +80,8 @@ class ThinTreeTopology final : public Topology {
   std::vector<NodeId> stage_first_switch_;   // per stage (0-based)
   std::vector<std::uint32_t> stage_a_count_; // k^(n-s)
   std::vector<std::uint32_t> stage_b_count_; // k'^(s-1)
+  LinkId first_link_ = 0;                    // first leaf-to-stage-1 cable
+  std::vector<LinkId> stage_pair_first_;     // first cable of pair s -> s+1
 };
 
 }  // namespace nestflow

@@ -110,6 +110,80 @@ void route_torus_dor(const Graph& graph, NodeId first, const GridShape& shape,
   }
 }
 
+std::uint32_t torus_num_cables(const GridShape& shape) {
+  std::uint32_t cables = 0;
+  for (std::uint32_t dim = 0; dim < shape.num_dims(); ++dim) {
+    const std::uint32_t d = shape.dims()[dim];
+    if (d < 2) continue;
+    // Every node owns its +1 cable, except size-2 dims where only the
+    // coord-0 half does (wire_torus collapses the +1/-1 pair).
+    cables += d == 2 ? shape.size() / 2 : shape.size();
+  }
+  return cables;
+}
+
+namespace {
+
+/// Ordinal (in wire_torus emission order) of the +1 cable node `node` owns
+/// in dimension `dim`: cables emitted by all earlier nodes, plus node's own
+/// earlier dimensions. Only valid when `node` owns that cable (always for
+/// sizes > 2; coord 0 for size-2 dims).
+std::uint32_t torus_cable_ordinal(const GridShape& shape, std::uint32_t node,
+                                  std::uint32_t dim) {
+  std::uint32_t cable = 0;
+  for (std::uint32_t d = 0; d < shape.num_dims(); ++d) {
+    const std::uint32_t s = shape.dims()[d];
+    if (s < 2) continue;
+    if (s == 2) {
+      // Nodes below `node` with coord 0 in d: the coord pattern has period
+      // 2*stride (stride zeros, then stride ones).
+      const std::uint32_t st = shape.stride(d);
+      cable += (node / (2 * st)) * st + std::min(st, node % (2 * st));
+      if (d < dim && shape.coord(node, d) == 0) ++cable;
+    } else {
+      cable += node + (d < dim ? 1 : 0);
+    }
+  }
+  return cable;
+}
+
+}  // namespace
+
+LinkId torus_hop_link(const GridShape& shape, LinkId first_link,
+                      std::uint32_t from_index, std::uint32_t dim,
+                      int direction) {
+  const std::uint32_t d = shape.dims()[dim];
+  if (d == 2) {
+    // One cable per pair, owned by the coord-0 node; +1 and -1 coincide.
+    if (shape.coord(from_index, dim) == 0) {
+      return first_link + 2 * torus_cable_ordinal(shape, from_index, dim);
+    }
+    const std::uint32_t owner = from_index - shape.stride(dim);
+    return first_link + 2 * torus_cable_ordinal(shape, owner, dim) + 1;
+  }
+  if (direction == 1) {
+    return first_link + 2 * torus_cable_ordinal(shape, from_index, dim);
+  }
+  // Stepping -1 traverses the neighbour's +1 cable in reverse.
+  const std::uint32_t owner = shape.wrap_neighbor(from_index, dim, -1);
+  return first_link + 2 * torus_cable_ordinal(shape, owner, dim) + 1;
+}
+
+void route_torus_dor_arith(const GridShape& shape, LinkId first_link,
+                           std::uint32_t src_index, std::uint32_t dst_index,
+                           Path& path) {
+  std::uint32_t current = src_index;
+  for (std::uint32_t dim = 0; dim < shape.num_dims(); ++dim) {
+    const std::uint32_t d = shape.dims()[dim];
+    const std::uint32_t goal = shape.coord(dst_index, dim);
+    while (shape.coord(current, dim) != goal) {
+      const int dir = dor_step_direction(shape.coord(current, dim), goal, d);
+      path.links.push_back(torus_hop_link(shape, first_link, current, dim, dir));
+      current = shape.wrap_neighbor(current, dim, dir);
+    }
+  }
+}
+
 std::uint32_t torus_dor_distance(const GridShape& shape,
                                  std::uint32_t src_index,
                                  std::uint32_t dst_index) {
@@ -141,7 +215,8 @@ void TorusTopology::route(std::uint32_t src, std::uint32_t dst,
                           Path& path) const {
   path.clear();
   if (src == dst) return;
-  route_torus_dor(graph(), 0, shape_, src, dst, path);
+  // Endpoints are added before any cable, so the torus links start at id 0.
+  route_torus_dor_arith(shape_, 0, src, dst, path);
 }
 
 std::string TorusTopology::name() const {

@@ -44,6 +44,11 @@ class GridShape {
   [[nodiscard]] std::uint32_t coord(std::uint32_t index,
                                     std::uint32_t dim) const;
 
+  /// Linear-index stride of `dim` (product of lower dimension sizes).
+  [[nodiscard]] std::uint32_t stride(std::uint32_t dim) const noexcept {
+    return strides_[dim];
+  }
+
   /// Index of the neighbour one step along `dim` (+1 or -1, wrapped).
   [[nodiscard]] std::uint32_t wrap_neighbor(std::uint32_t index,
                                             std::uint32_t dim,
@@ -64,10 +69,30 @@ void wire_torus(GraphBuilder& builder, NodeId first, const GridShape& shape,
 
 /// Appends the DOR route between two indices of `shape` (nodes offset by
 /// `first`) to `path`: dimensions corrected in ascending order, shortest
-/// direction, positive direction on ties.
+/// direction, positive direction on ties. Reference implementation via
+/// graph lookups; production routing uses route_torus_dor_arith.
 void route_torus_dor(const Graph& graph, NodeId first, const GridShape& shape,
                      std::uint32_t src_index, std::uint32_t dst_index,
                      Path& path);
+
+/// Number of duplex cables wire_torus emits for `shape` (each cable is a
+/// consecutive pair of link ids: forward = +1 direction, reverse = +1).
+[[nodiscard]] std::uint32_t torus_num_cables(const GridShape& shape);
+
+/// Closed-form link id of the hop leaving `from_index` one step along `dim`
+/// in `direction`, where `first_link` is the id of the first link
+/// wire_torus emitted for this shape. Reconstructs wire_torus's emission
+/// order (node-major, dims ascending; size-2 dims owned by the coord-0
+/// node) without touching the graph.
+[[nodiscard]] LinkId torus_hop_link(const GridShape& shape, LinkId first_link,
+                                    std::uint32_t from_index,
+                                    std::uint32_t dim, int direction);
+
+/// route_torus_dor with arithmetic link ids: identical path, no graph
+/// lookups, no allocation beyond the path itself.
+void route_torus_dor_arith(const GridShape& shape, LinkId first_link,
+                           std::uint32_t src_index, std::uint32_t dst_index,
+                           Path& path);
 
 /// Number of hops DOR takes between two indices (no graph access needed).
 [[nodiscard]] std::uint32_t torus_dor_distance(const GridShape& shape,
