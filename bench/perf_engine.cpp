@@ -45,6 +45,15 @@
 // full re-solve per event; such cells report speedup 0 and gate identity
 // on cold-vs-steady self-consistency alone. --max-rss-gb fails the run
 // when the final peak RSS exceeds the given budget.
+//
+// Schema v5 adds a per-phase timing breakdown to each mode object —
+// route_us_per_event, dispatch_us_per_event, audit_us_per_event alongside
+// the existing solve_us_per_event (all from EngineOptions::time_solver) —
+// so a wall-time regression is attributable to routing, solving, event
+// dispatch, or auditing rather than just to a cell. It also adds the
+// --min-cold-speedup gate: cold (first-run) speedup is gated separately
+// from steady because the cold regime pays cache construction and
+// first-touch allocation, so its floor legitimately sits below 1.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -184,6 +193,17 @@ void emit_mode(std::ostream& out, const char* name, const ModeStats& stats) {
                                           : 0.0)
       << ", \"solve_us_per_event\": "
       << (r.events > 0 ? 1e6 * r.solve_seconds / events : 0.0)
+      // Phase breakdown of the steady-regime loop (EngineOptions::
+      // time_solver): routing/activation, event dispatch bookkeeping, and
+      // per-event audit hooks. Together with solve_us_per_event this
+      // accounts for where a cell's wall time actually goes, so a
+      // regression is attributable to a phase, not just a cell.
+      << ", \"route_us_per_event\": "
+      << (r.events > 0 ? 1e6 * r.route_seconds / events : 0.0)
+      << ", \"dispatch_us_per_event\": "
+      << (r.events > 0 ? 1e6 * r.dispatch_seconds / events : 0.0)
+      << ", \"audit_us_per_event\": "
+      << (r.events > 0 ? 1e6 * r.audit_seconds / events : 0.0)
       << ", \"solver_rounds\": " << r.solver_rounds
       << ", \"route_cache_hit_rate\": "
       << rate(r.route_cache_hits, r.route_cache_misses)
@@ -240,6 +260,12 @@ int main(int argc, char** argv) {
   cli.add_option("min-speedup",
                  "fail (exit 1) when any cell's steady speedup is below this",
                  "0");
+  cli.add_option("min-cold-speedup",
+                 "fail (exit 1) when any cell's cold (first-run) speedup is "
+                 "below this; cold runs pay cache construction, so the floor "
+                 "sits below 1 and guards the cold-start tax separately from "
+                 "the steady gate (0 = report only)",
+                 "0");
   cli.add_flag("optimized-only",
                "skip the cacheless baseline mode (million-endpoint cells); "
                "speedup is reported as 0 and identity gates on cold-vs-"
@@ -273,6 +299,7 @@ int main(int argc, char** argv) {
   const auto seed = cli.get_uint("seed");
   const double latency = cli.get_double("latency");
   const double min_speedup = cli.get_double("min-speedup");
+  const double min_cold_speedup = cli.get_double("min-cold-speedup");
   const bool optimized_only = cli.get_bool("optimized-only");
   const double max_rss_gb = cli.get_double("max-rss-gb");
   const std::size_t solve_cache_words =
@@ -305,7 +332,7 @@ int main(int argc, char** argv) {
   double best_4thread_speedup = 0.0;
   std::ofstream out(out_path);
   out.precision(12);
-  out << "{\n  \"schema\": \"nestflow-bench-engine-v4\",\n"
+  out << "{\n  \"schema\": \"nestflow-bench-engine-v5\",\n"
       << "  \"git_sha\": \"" << cli.get_string("git-sha") << "\",\n"
       << "  \"compiler\": \"" << compiler_id() << "\",\n"
       << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
@@ -369,6 +396,13 @@ int main(int argc, char** argv) {
         std::cerr << "SPEEDUP BELOW TARGET on " << spec << " @ "
                   << point.config_name() << ": " << speedup << " < "
                   << min_speedup << "\n";
+        ok = false;
+      }
+      if (baseline && min_cold_speedup > 0.0 &&
+          cold_speedup < min_cold_speedup) {
+        std::cerr << "COLD SPEEDUP BELOW TARGET on " << spec << " @ "
+                  << point.config_name() << ": " << cold_speedup << " < "
+                  << min_cold_speedup << "\n";
         ok = false;
       }
 

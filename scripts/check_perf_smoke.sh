@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# Perf-plumbing smoke: a small-N pass over the perf harness so the gating
+# machinery itself (identicality cross-checks, speedup and RSS gates, the
+# schema-v5 phase breakdown) cannot rot between manual run_bench.sh runs.
+#
+# Usage: scripts/check_perf_smoke.sh [nodes] [rss-ceiling-gb]
+#
+# Two perf_engine passes on the release build, both cheap enough for CI:
+#
+#   1. a baseline-vs-optimized pass (mapreduce + nearneighbors on
+#      NestGHC(t=2,u=4) at N=256) — the unconditional bit-identity
+#      cross-check between the cacheless and optimized engines, plus the
+#      thread-identicality sweep at 1,2,4 solver threads. No speedup floor:
+#      at toy N the ratio is noise, but identity must hold at every size.
+#   2. an --optimized-only pass at N=1024 under --max-rss-gb, exercising
+#      the cold-vs-steady self-consistency gate and the memory budget the
+#      million-endpoint recipe relies on (default ceiling 2 GiB — the
+#      N=1024 cells sit well under 1).
+#
+# Identicality failures, thread divergence, or an RSS overrun exit
+# non-zero and fail CI.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="$repo_root/build-release"
+nodes="${1:-1024}"
+rss_gb="${2:-2}"
+cores=$(nproc 2>/dev/null || echo 4)
+
+cmake --preset release -S "$repo_root"
+cmake --build "$build_dir" -j "$cores" --target perf_engine
+
+mkdir -p "$repo_root/build/artifacts"
+
+"$build_dir/bench/perf_engine" \
+  --nodes 256 \
+  --workloads mapreduce,nearneighbors \
+  --points nestghc-t2-u4 \
+  --repeat 2 \
+  --threads 1,2,4 \
+  --out "$repo_root/build/artifacts/BENCH_perf_smoke_ab.json"
+
+"$build_dir/bench/perf_engine" \
+  --nodes "$nodes" \
+  --workloads mapreduce,nearneighbors \
+  --points nestghc-t2-u4 \
+  --repeat 2 \
+  --optimized-only \
+  --max-rss-gb "$rss_gb" \
+  --out "$repo_root/build/artifacts/BENCH_perf_smoke.json"
+
+echo "perf smoke: A/B + thread identicality at N=256, optimized-only" \
+  "at N=$nodes under $rss_gb GiB peak RSS — ok"

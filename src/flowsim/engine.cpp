@@ -67,8 +67,10 @@ FlowEngine::FlowEngine(const Topology& topology, EngineOptions options)
     for (std::size_t w = 0; w < solver_threads; ++w) {
       worker_solvers_.push_back(
           std::make_unique<FairShareSolver<EngineContext>>());
+      worker_solvers_.back()->set_strategy(options_.solver_strategy);
     }
   }
+  solver_.set_strategy(options_.solver_strategy);
 }
 
 void FlowEngine::set_capacity_factor(LinkId link, double factor) {
@@ -287,7 +289,7 @@ void FlowEngine::recycle_path(FlowIndex f) {
   free_paths_by_length_[len].push_back(path_offset_[f]);
 }
 
-void FlowEngine::collect_dirty_components() {
+bool FlowEngine::collect_dirty_components() {
   // Seed with the dirty links that still carry active flows; a drained
   // dirty link contributes nothing itself, but each link of a completed
   // flow's path was marked dirty individually, so every component the
@@ -302,6 +304,12 @@ void FlowEngine::collect_dirty_components() {
     }
   }
   dirty_links_.clear();
+
+  // Once the walk has pulled in more than half the active flows, finishing
+  // it costs more than it can save — the whole-set solve it would justify
+  // is exact for any superset. Bail, clear the marks, let the caller
+  // promote.
+  const std::size_t bail_flows = active_flows_.size() / 2;
 
   // BFS over the bipartite flow-link incidence; affected_links_ doubles as
   // the frontier queue. The result is a union of *complete* connected
@@ -320,12 +328,18 @@ void FlowEngine::collect_dirty_components() {
         }
       }
     }
+    if (affected_flows_.size() > bail_flows) {
+      for (const LinkId l : affected_links_) link_in_component_[l] = 0;
+      for (const FlowIndex g : affected_flows_) flow_in_component_[g] = 0;
+      return true;
+    }
   }
   for (const LinkId l : affected_links_) link_in_component_[l] = 0;
   for (const FlowIndex g : affected_flows_) flow_in_component_[g] = 0;
+  return false;
 }
 
-void FlowEngine::collect_dirty_components_partitioned() {
+bool FlowEngine::collect_dirty_components_partitioned() {
   // Same seeding and closure rules as collect_dirty_components(), but each
   // seed's component is BFS-exhausted before the next seed starts, so every
   // component occupies a contiguous range of affected_flows_ and
@@ -338,6 +352,7 @@ void FlowEngine::collect_dirty_components_partitioned() {
   affected_links_.clear();
   affected_flows_.clear();
   components_.clear();
+  const std::size_t bail_flows = active_flows_.size() / 2;
   for (const LinkId seed : dirty_links_) link_dirty_[seed] = 0;
   for (const LinkId seed : dirty_links_) {
     if (link_active_count_[seed] == 0 || link_in_component_[seed]) continue;
@@ -358,6 +373,12 @@ void FlowEngine::collect_dirty_components_partitioned() {
           }
         }
       }
+      if (affected_flows_.size() > bail_flows) {
+        for (const LinkId l : affected_links_) link_in_component_[l] = 0;
+        for (const FlowIndex g : affected_flows_) flow_in_component_[g] = 0;
+        dirty_links_.clear();
+        return true;
+      }
     }
     components_.push_back(
         ComponentRange{flow_begin,
@@ -368,6 +389,15 @@ void FlowEngine::collect_dirty_components_partitioned() {
   dirty_links_.clear();
   for (const LinkId l : affected_links_) link_in_component_[l] = 0;
   for (const FlowIndex g : affected_flows_) flow_in_component_[g] = 0;
+  return false;
+}
+
+void FlowEngine::prune_used_links() {
+  std::erase_if(used_links_, [this](LinkId l) {
+    if (link_active_count_[l] > 0) return false;
+    link_in_used_[l] = 0;
+    return true;
+  });
 }
 
 void FlowEngine::solve_component(std::size_t c,
@@ -521,6 +551,8 @@ std::uint64_t FlowEngine::build_solve_key(
 
 const double* FlowEngine::find_cached_rates(std::span<const std::uint64_t> key,
                                             std::uint64_t hash) const {
+  // Guaranteed miss on a cold cache: skip the bucket walk entirely.
+  if (solve_cache_entries_.empty()) return nullptr;
   const auto it = solve_cache_map_.find(hash);
   if (it == solve_cache_map_.end()) return nullptr;
   for (const std::uint32_t index : it->second) {
@@ -561,6 +593,18 @@ bool FlowEngine::try_cached_solve(SimResult& result,
   // any unshared path in the component forfeits memoization for this event.
   for (const FlowIndex f : flows) {
     if (!path_shared_[f]) return false;
+  }
+
+  // A key larger than the entire cache budget can never have been inserted
+  // (insertion admits blobs only under the budget), so the probe is a
+  // guaranteed miss: skip materialising the blob — at million-endpoint
+  // scale a whole-set key runs to hundreds of MB — and record the miss the
+  // built-and-compared path would have recorded. Insertion stays disarmed,
+  // exactly as the arming check below would have decided.
+  if (1 + 3 * links.size() + flows.size() >
+      options_.solve_cache_budget_words) {
+    ++result.solve_cache_misses;
+    return false;
   }
 
   solve_key_hash_ = build_solve_key(links, flows, solve_key_);
@@ -733,6 +777,16 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
     }
   }
   solve_insert_armed_ = false;
+  whole_probe_misses_ = 0;
+  // whole_set_hint_ deliberately persists across runs: a steady-state
+  // replay's first giant event then probes (and hits) immediately.
+  if (route_cache_active_) {
+    // Pre-size the route cache for the program's pair count so a cold run
+    // never pays incremental rehashing of a million-entry table mid-loop.
+    // An upper bound is fine (distinct pairs <= flows, insertion stops at
+    // kMaxCachedRoutes) and reserve() is a no-op once the table is there.
+    route_cache_.reserve(std::min<std::size_t>(n, kMaxCachedRoutes));
+  }
   for (const LinkId l : dirty_links_) link_dirty_[l] = 0;
   dirty_links_.clear();
   flow_in_component_.assign(n, 0);
@@ -799,6 +853,8 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
     // Activate everything runnable; sync flows complete instantly and may
     // cascade more activations within the same pass. Flows whose release
     // time lies in the future are parked in the release queue.
+    std::chrono::steady_clock::time_point route_start;
+    if (options_.time_solver) route_start = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < ready.size(); ++i) {
       const FlowIndex f = ready[i];
       if (state_[f] != FlowState::kPending) continue;  // cancelled meanwhile
@@ -835,6 +891,12 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
       }
     }
     ready.clear();
+    if (options_.time_solver) {
+      result.route_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        route_start)
+              .count();
+    }
 
     // The network is idle: jump straight to the next arrival.
     if (active_flows_.empty() && !release_queue_.empty()) {
@@ -857,65 +919,101 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
     // Flows whose rates this event's solve (re)wrote; the quantise and
     // zero-rate recovery passes below enumerate exactly this set.
     std::span<const FlowIndex> solved = active_flows_;
-    if (parallel_active_) {
-      // Same dirty-component closure as the serial incremental path, but
-      // partitioned into per-component ranges and solved across the
-      // engine-owned pool. Cache inserts happen inside the commit phase,
-      // still BEFORE quantisation (see the serial branch below).
-      collect_dirty_components_partitioned();
-      if (!components_.empty()) parallel_solve(result);
-      solved = affected_flows_;
-    } else if (incremental_) {
-      std::span<const LinkId> solve_links;
-      std::span<const FlowIndex> solve_flows;
-      if (2 * dirty_links_.size() >= num_active_links_) {
-        // Most of the live fabric is dirty (giant completion batches: the
-        // mapreduce shuffle dirties nearly every link every event), so the
-        // component BFS would walk the whole incidence only to rediscover
-        // "everything". Solve the whole active set directly instead — the
-        // engine maintains it incrementally — which reproduces what the
-        // component union would compute bit-for-bit: solving independent
-        // components together or apart is the same arithmetic (the freeze
-        // sequence is a pure function of component content, maxmin.hpp),
-        // and re-solving an untouched component regenerates its frozen
-        // rates exactly.
+    if (incremental_) {
+      // One selection policy serves both the serial and the parallel
+      // incremental path; only HOW the chosen set is solved differs
+      // (inline, pool-sharded whole set, or per-component fan-out). Every
+      // choice below reproduces the same rates bit-for-bit — solving
+      // independent components together or apart is the same arithmetic
+      // (the freeze sequence is a pure function of component content,
+      // maxmin.hpp), and re-solving an untouched component regenerates its
+      // frozen rates exactly — so the policy only routes work, and every
+      // decision is a pure function of engine state (never of thread
+      // count or scheduling), keeping parallel counters deterministic.
+      //
+      // Threshold: most of the live fabric dirty (giant completion
+      // batches: the mapreduce shuffle dirties nearly every link every
+      // event) means the component BFS would walk the whole incidence only
+      // to rediscover "everything" — solve the whole active set directly.
+      bool whole = 2 * dirty_links_.size() >= num_active_links_;
+      bool cache_hit = false;
+      bool cache_probed = false;  // try_cached_solve ran on the whole set
+      if (!whole && solve_cache_active_ && whole_set_hint_ &&
+          !solve_cache_entries_.empty()) {
+        // Probe-first: recent events solved the whole active set, so its
+        // canonical key likely repeats (phase-structured workloads replay
+        // bit-identical allocation problems). Looking it up costs one key
+        // build; a hit skips BOTH the component BFS and the solve. Misses
+        // are tolerated once (the whole-set solve they promote re-earns
+        // the hint via the cache insert); twice in a row drops the hint
+        // and returns to BFS-decided routing.
+        prune_used_links();
+        cache_hit = try_cached_solve(result, used_links_, active_flows_);
+        cache_probed = true;
+        if (cache_hit) {
+          whole = true;
+          whole_probe_misses_ = 0;
+        } else if (++whole_probe_misses_ <= 1) {
+          whole = true;
+        } else {
+          whole_set_hint_ = false;
+          solve_insert_armed_ = false;  // key is whole-set; form undecided
+          cache_probed = false;
+        }
+      }
+      bool bailed = false;
+      if (!whole) {
+        // Re-solve only the connected components touched by an occupancy
+        // change; untouched components keep their frozen rates (max-min
+        // independence — see DESIGN.md "Performance model"). The walk
+        // bails once it has pulled in over half the active flows; a
+        // whole-set solve is then cheaper and just as exact.
+        bailed = parallel_active_ ? collect_dirty_components_partitioned()
+                                  : collect_dirty_components();
+        whole = bailed;
+      }
+      if (whole) {
         for (const LinkId l : dirty_links_) link_dirty_[l] = 0;
         dirty_links_.clear();
-        std::erase_if(used_links_, [this](LinkId l) {
-          if (link_active_count_[l] > 0) return false;
-          link_in_used_[l] = 0;
-          return true;
-        });
-        solve_links = used_links_;
-        solve_flows = active_flows_;
+        prune_used_links();
+        if (solve_cache_active_) {
+          whole_set_hint_ = true;
+          if (!cache_probed) whole_probe_misses_ = 0;
+        }
+        if (!cache_hit && !active_flows_.empty()) {
+          if (solve_cache_active_ && !cache_probed) {
+            cache_hit = try_cached_solve(result, used_links_, active_flows_);
+          }
+          if (!cache_hit) {
+            result.solver_rounds += solver_.solve(
+                ctx, used_links_, link_weight_sum_, active_flows_, rates_,
+                parallel_active_ ? solver_pool_.get() : nullptr);
+            // Memoize BEFORE quantisation: the quantiser below is a pure
+            // per-flow function, so replaying raw rates through it on a
+            // future hit lands on identical quantised values.
+            if (solve_insert_armed_) solve_cache_insert(active_flows_);
+          }
+        }
+        solved = active_flows_;
+      } else if (parallel_active_) {
+        // Per-component ranges solved across the engine-owned pool. Cache
+        // inserts happen inside the commit phase, still BEFORE quantisation.
+        if (!components_.empty()) parallel_solve(result);
+        solved = affected_flows_;
       } else {
-        // Re-solve only the connected components touched by an occupancy
-        // change; untouched components keep their frozen rates, which a
-        // full solve would reproduce bit-for-bit (max-min independence —
-        // see DESIGN.md "Performance model").
-        collect_dirty_components();
-        solve_links = affected_links_;
-        solve_flows = affected_flows_;
+        if (!affected_flows_.empty() &&
+            (!solve_cache_active_ ||
+             !try_cached_solve(result, affected_links_, affected_flows_))) {
+          result.solver_rounds += solver_.solve(ctx, affected_links_,
+                                                link_weight_sum_,
+                                                affected_flows_, rates_);
+          if (solve_insert_armed_) solve_cache_insert(affected_flows_);
+        }
+        solved = affected_flows_;
       }
-      if (!solve_flows.empty() &&
-          (!solve_cache_active_ ||
-           !try_cached_solve(result, solve_links, solve_flows))) {
-        result.solver_rounds += solver_.solve(ctx, solve_links,
-                                              link_weight_sum_,
-                                              solve_flows, rates_);
-        // Memoize BEFORE quantisation: the quantiser below is a pure
-        // per-flow function, so replaying raw rates through it on a future
-        // hit lands on identical quantised values.
-        if (solve_insert_armed_) solve_cache_insert(solve_flows);
-      }
-      solved = solve_flows;
     } else {
       // Prune stale used-link entries so the solver only seeds live links.
-      std::erase_if(used_links_, [this](LinkId l) {
-        if (link_active_count_[l] > 0) return false;
-        link_in_used_[l] = 0;
-        return true;
-      });
+      prune_used_links();
 
       result.solver_rounds += solver_.solve(ctx, used_links_,
                                             link_weight_sum_, active_flows_,
@@ -926,6 +1024,21 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         solve_start)
               .count();
+    }
+    // Everything from here to the end of the iteration (quantisation,
+    // zero-rate recovery, time advance, completion scan) is "event
+    // dispatch" in the per-phase breakdown; auditor callbacks are timed
+    // separately.
+    std::chrono::steady_clock::time_point dispatch_start;
+    const auto take_dispatch = [&result, &dispatch_start, this] {
+      if (options_.time_solver) {
+        const auto now_tp = std::chrono::steady_clock::now();
+        result.dispatch_seconds +=
+            std::chrono::duration<double>(now_tp - dispatch_start).count();
+      }
+    };
+    if (options_.time_solver) {
+      dispatch_start = std::chrono::steady_clock::now();
     }
     // Only freshly solved flows can have changed rate; untouched components
     // keep both their (positive) rates and their quantised values, exactly
@@ -968,6 +1081,7 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
       for (const FlowIndex f : zero_rate_scratch_) {
         recover_flow(f, now, result);
       }
+      take_dispatch();
       continue;
     }
 
@@ -1001,7 +1115,18 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
     }
 
     if (audit_events) {
+      take_dispatch();
+      std::chrono::steady_clock::time_point audit_start;
+      if (options_.time_solver) {
+        audit_start = std::chrono::steady_clock::now();
+      }
       auditor_->on_event(AuditView(*this, now, dt, result.events));
+      if (options_.time_solver) {
+        dispatch_start = std::chrono::steady_clock::now();
+        result.audit_seconds +=
+            std::chrono::duration<double>(dispatch_start - audit_start)
+                .count();
+      }
     }
 
     const double threshold = dt * (1.0 + options_.completion_batch_rel);
@@ -1037,6 +1162,7 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
       throw EngineError(EngineError::Kind::kLivelock,
                         loop_snapshot(result.events, now));
     }
+    take_dispatch();
   }
 
   for (FlowIndex f = 0; f < n; ++f) {

@@ -163,9 +163,16 @@ struct EngineOptions {
   /// bench/perf_engine's --solve-cache-mb.
   std::size_t solve_cache_budget_words = 8u << 20;
   /// Measure wall time spent in rate recomputation (dirty-component
-  /// collection + solver) into SimResult::solve_seconds. Off by default:
-  /// the clock reads cost more than a small component solve.
+  /// collection + solver) into SimResult::solve_seconds, plus the other
+  /// per-phase timers (route_seconds, dispatch_seconds, audit_seconds).
+  /// Off by default: the clock reads cost more than a small component
+  /// solve.
   bool time_solver = false;
+  /// Batch-identification kernel for the max-min solver (see
+  /// SolverStrategy in flowsim/maxmin.hpp). Every strategy produces
+  /// bit-identical results; kAuto adapts per solve and is right for
+  /// everything but differential testing.
+  SolverStrategy solver_strategy = SolverStrategy::kAuto;
   /// Worker threads for the per-event rate re-solve. The dirty components
   /// between events are independent max-min problems (they share no links),
   /// so with solver_threads > 1 the engine owns a keep-alive ThreadPool for
@@ -219,6 +226,15 @@ struct SimResult {
   std::uint64_t solve_cache_misses = 0;
   /// Wall seconds inside rate recomputation (EngineOptions::time_solver).
   double solve_seconds = 0.0;
+  /// Per-phase wall-time breakdown of the event loop, populated (like
+  /// solve_seconds) only when EngineOptions::time_solver is set:
+  /// activation routing, event dispatch (rate quantisation, zero-rate
+  /// recovery, time advance, completion scan), and auditor callbacks.
+  /// Wall-clock measurements, not physical results — exempt from the
+  /// bit-identity contracts the way the cache counters are.
+  double route_seconds = 0.0;
+  double dispatch_seconds = 0.0;
+  double audit_seconds = 0.0;
   double max_link_utilization = 0.0;  // busiest link's bytes/(cap*makespan)
   double avg_active_flows = 0.0;      // time-weighted mean active flow count
   std::uint32_t peak_active_flows = 0;
@@ -387,13 +403,23 @@ class FlowEngine {
   }
   /// Expands the dirty links into the full connected components of the
   /// active flow-link incidence graph that touch them, filling
-  /// affected_flows_/affected_links_ and consuming the dirty set.
-  void collect_dirty_components();
+  /// affected_flows_/affected_links_ and consuming the dirty set. Returns
+  /// true when it BAILED instead: the affected set grew past half the
+  /// active flows, at which point a whole-set solve is cheaper than
+  /// finishing the walk (a superset solve is bit-exact — max-min rates of
+  /// a component do not depend on what else is solved alongside). On a
+  /// bail the affected arrays are invalid and all marks are cleared.
+  [[nodiscard]] bool collect_dirty_components();
   /// Partitioned variant for the parallel path: same affected set, but each
   /// seed's component is BFS-exhausted before the next seed starts, so
   /// components occupy contiguous [begin, end) ranges of
-  /// affected_flows_/affected_links_, recorded in components_.
-  void collect_dirty_components_partitioned();
+  /// affected_flows_/affected_links_, recorded in components_. Same
+  /// half-the-active-flows bail contract as collect_dirty_components().
+  [[nodiscard]] bool collect_dirty_components_partitioned();
+  /// Drops links whose occupancy hit zero from used_links_, leaving the
+  /// canonical whole-set link order every whole-set solve (and solve-cache
+  /// key) uses.
+  void prune_used_links();
   /// Solves components_ across the solver pool (inline when there is only
   /// one), then commits counters and solve-cache inserts in component
   /// order. Bit-identical to the serial solve at any worker count.
@@ -494,6 +520,15 @@ class FlowEngine {
   bool solve_cache_active_ = false;  // resolved per run()
   bool solve_insert_armed_ = false;  // miss was cacheable; insert after solve
   std::uint64_t solve_key_hash_ = 0;
+  /// Probe-first whole-set hint: set whenever an event's solve covered the
+  /// whole active set (threshold, BFS bail, or a previous probe), cleared
+  /// after two consecutive probe misses. While set, events skip the
+  /// component BFS and look the canonical whole-set key up directly —
+  /// phase-structured giant workloads (the mapreduce shuffle) then pay one
+  /// key build per event instead of an O(active) component walk. Purely a
+  /// work-routing decision: rates are bit-identical either way.
+  bool whole_set_hint_ = false;
+  std::uint32_t whole_probe_misses_ = 0;
 
   // Incremental-solver state (EngineOptions::incremental_solver).
   bool incremental_ = false;  // resolved per run()

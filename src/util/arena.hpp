@@ -1,0 +1,79 @@
+// Grow-only byte arena carved into typed scratch arrays.
+//
+// The solver kernel (flowsim/maxmin.hpp) keeps half a dozen per-link and
+// per-flow scratch arrays alive across every solve of a run. Owning each as
+// its own std::vector means N independent allocations, N independent grows,
+// and no control over relative placement. ScratchArena replaces that with
+// ONE allocation per owner: carve() hands out aligned typed spans from a
+// single contiguous block, and recarving after a size change reuses the
+// block (growing it only when the total demand grows). Nothing is ever
+// returned piecemeal — the arena is reset wholesale and recarved, which is
+// exactly the lifetime the solver needs (arrays live until the next
+// resize, never shrink individually).
+//
+// Contracts:
+//   - carve<T>() returns UNINITIALIZED storage; callers zero what must
+//     start zeroed. T must be trivially copyable (no ctors/dtors run).
+//   - reset() invalidates every span handed out since the last reset.
+//   - Memory is reused across reset() calls and never shrinks, so a
+//     steady-state caller performs zero allocations after warm-up.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+
+namespace nestflow {
+
+class ScratchArena {
+ public:
+  /// Drops all outstanding spans and guarantees `bytes` of capacity for the
+  /// carve sequence that follows. Existing capacity is reused; the block
+  /// only grows. Callers should size `bytes` with bytes_for<T>(n) sums so
+  /// per-carve alignment padding is already accounted for.
+  void reset(std::size_t bytes) {
+    if (capacity_ < bytes) {
+      buffer_ = std::make_unique<std::byte[]>(bytes);
+      capacity_ = bytes;
+    }
+    used_ = 0;
+  }
+
+  /// Carves an uninitialized span of `count` Ts, aligned for T.
+  template <typename T>
+  [[nodiscard]] std::span<T> carve(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "arena scratch must not need construction/destruction");
+    const std::size_t offset = align_up(used_, alignof(T));
+    used_ = offset + count * sizeof(T);
+    assert(used_ <= capacity_ && "ScratchArena::reset() sized too small");
+    return {reinterpret_cast<T*>(buffer_.get() + offset), count};
+  }
+
+  /// Worst-case bytes a carve<T>(count) can consume (payload + alignment).
+  template <typename T>
+  [[nodiscard]] static constexpr std::size_t bytes_for(std::size_t count) {
+    return count * sizeof(T) + alignof(T);
+  }
+
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return capacity_;
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::size_t align_up(
+      std::size_t offset, std::size_t alignment) noexcept {
+    return (offset + alignment - 1) & ~(alignment - 1);
+  }
+
+  // make_unique<std::byte[]> comes from operator new[], which aligns to
+  // max_align_t — enough for every scratch element type the solver carves.
+  std::unique_ptr<std::byte[]> buffer_;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+};
+
+}  // namespace nestflow

@@ -90,6 +90,23 @@ constexpr std::array<RecoveryPolicy, 3> kPolicies{
   return "?";
 }
 
+[[nodiscard]] const char* strategy_name(SolverStrategy strategy) {
+  switch (strategy) {
+    case SolverStrategy::kAuto: return "auto";
+    case SolverStrategy::kHeap: return "heap";
+    case SolverStrategy::kScan: return "scan";
+  }
+  return "?";
+}
+
+[[nodiscard]] SolverStrategy parse_strategy(std::string_view text) {
+  if (text == "auto") return SolverStrategy::kAuto;
+  if (text == "heap") return SolverStrategy::kHeap;
+  if (text == "scan") return SolverStrategy::kScan;
+  throw std::invalid_argument("chaos config: unknown solver strategy '" +
+                              std::string(text) + "'");
+}
+
 [[nodiscard]] ChaosFaultMode parse_fault_mode(std::string_view text) {
   if (text == "none") return ChaosFaultMode::kNone;
   if (text == "static") return ChaosFaultMode::kStatic;
@@ -367,6 +384,13 @@ ChaosConfig make_chaos_config(std::uint64_t seed) {
       std::min<std::uint32_t>(topology->num_endpoints(), 64));
   if (tasks > 8 && rng.next_bool(0.3)) tasks /= 2;
   config.tasks = tasks;
+
+  // Sampled LAST so every draw above sees the exact Prng stream it saw
+  // before this knob existed: old seeds keep their configs, and the new
+  // axis rides on top of the established matrix.
+  config.solver_strategy =
+      std::array{SolverStrategy::kAuto, SolverStrategy::kHeap,
+                 SolverStrategy::kScan}[rng.next_below(3)];
   return config;
 }
 
@@ -392,6 +416,7 @@ std::string to_config_string(const ChaosConfig& config) {
   add("routecache", config.route_cache ? "1" : "0");
   add("solvecache", config.solve_cache ? "1" : "0");
   add("threads", std::to_string(config.solver_threads));
+  add("strategy", strategy_name(config.solver_strategy));
   add("policy", policy_name(config.recovery_policy));
   add("backoff", fmt_double(config.retry_backoff_seconds));
   add("times", config.record_flow_times ? "1" : "0");
@@ -439,6 +464,10 @@ ChaosConfig parse_config_string(const std::string& text) {
     else if (key == "solvecache") config.solve_cache = parse_bool(key, value);
     else if (key == "threads")
       config.solver_threads = static_cast<std::uint32_t>(parse_u64(key, value));
+    // Absent "strategy" keys (reproducers predating the knob) keep the
+    // default kAuto — absence is tolerated, only bad values throw.
+    else if (key == "strategy")
+      config.solver_strategy = parse_strategy(value);
     else if (key == "policy") config.recovery_policy = parse_policy(value);
     else if (key == "backoff")
       config.retry_backoff_seconds = parse_f64(key, value);
@@ -506,12 +535,14 @@ void run_chaos(const ChaosConfig& config) {
                                ? RunKind::kPoisson
                                : RunKind::kPreApplied;
 
-  // Reference: the naive solver path, fully audited.
+  // Reference: the naive solver path, fully audited, always on the PR-6
+  // heap kernel — the yardstick every sampled strategy is pinned against.
   EngineOptions reference_options = physics_options(config);
   reference_options.incremental_solver = false;
   reference_options.route_cache = false;
   reference_options.solve_cache = false;
   reference_options.solver_threads = 1;
+  reference_options.solver_strategy = SolverStrategy::kHeap;
   const SimResult reference = run_trial(config, *topology, program, picks,
                                         reference_options, run_kind,
                                         poisson_horizon);
@@ -524,6 +555,7 @@ void run_chaos(const ChaosConfig& config) {
   variant_options.solve_cache = config.solve_cache;
   variant_options.solver_threads =
       config.incremental_solver ? config.solver_threads : 1;
+  variant_options.solver_strategy = config.solver_strategy;
   const SimResult variant = run_trial(config, *topology, program, picks,
                                       variant_options, run_kind,
                                       poisson_horizon);
@@ -574,6 +606,9 @@ ChaosConfig shrink_config(const ChaosConfig& config) {
       [](ChaosConfig& c) { c.adaptive_routing = false; },
       [](ChaosConfig& c) { c.retry_backoff_seconds = 0.0; },
       [](ChaosConfig& c) { c.solver_threads = 1; },
+      // Forcing the reference kernel exonerates (or indicts) the scan/auto
+      // paths: if the failure survives on kHeap, the new kernel is not it.
+      [](ChaosConfig& c) { c.solver_strategy = SolverStrategy::kHeap; },
       [](ChaosConfig& c) { c.solve_cache = false; },
       [](ChaosConfig& c) { c.route_cache = false; },
       [](ChaosConfig& c) {

@@ -64,6 +64,11 @@ struct ChaosConfig {
   bool route_cache = true;
   bool solve_cache = true;
   std::uint32_t solver_threads = 1;
+  /// Water-filling kernel of the variant run. The reference run always
+  /// forces SolverStrategy::kHeap (the PR-6 yardstick kernel), so sampling
+  /// this knob differentially pins the scan/auto kernels against it across
+  /// the whole coverage matrix.
+  SolverStrategy solver_strategy = SolverStrategy::kAuto;
   RecoveryPolicy recovery_policy = RecoveryPolicy::kStrand;
   double retry_backoff_seconds = 0.0;
   bool record_flow_times = false;
