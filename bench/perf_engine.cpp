@@ -54,6 +54,18 @@
 // --min-cold-speedup gate: cold (first-run) speedup is gated separately
 // from steady because the cold regime pays cache construction and
 // first-touch allocation, so its floor legitimately sits below 1.
+//
+// Schema v6 splits dispatch_us_per_event into its kernel phases —
+// advance_us_per_event (lazy flow advancement + zero-rate scan),
+// select_us_per_event (dt selection: slot-finish min sweep or indexed
+// heap), complete_us_per_event (completion harvest + swap-compaction +
+// DAG release) — and adds peak_active_flows plus the concurrency-
+// normalized dispatch_ns_per_event_per_kactive (dispatch cost per event
+// per 1024 concurrently active flows), so dispatch regressions are
+// attributable to a kernel phase and comparable across cells with very
+// different flow concurrency. It also adds the --min-dispatch-speedup
+// gate: baseline dispatch_us_per_event over optimized, gated per cell
+// wherever the baseline mode runs.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -78,6 +90,15 @@ struct ModeStats {
   double cold_wall_seconds = 0.0;
   double steady_wall_seconds = 0.0;
   SimResult result;  // steady-regime result (== cold when self_consistent)
+  // The FINAL repeat iteration's result (== cold when repeat is 0), used for
+  // counter-identity comparisons. `result` tracks the *fastest* iteration,
+  // and which iteration wins is timing noise — while cache counters evolve
+  // across iterations (a steady run can still insert entries the cold run
+  // did not), so counters from best-of-repeat results are not comparable
+  // across independently-timed runs. Iteration k's counters ARE a
+  // deterministic function of the configuration, so pinning the comparison
+  // to a fixed k makes the identity check reproducible.
+  SimResult identity_result;
   bool self_consistent = true;  // cold and steady runs agreed bit-for-bit
 };
 
@@ -161,6 +182,7 @@ ModeStats run_mode(const Topology& topology, const TrafficProgram& program,
   SimResult cold;
   stats.cold_wall_seconds = time_run(engine, program, cold);
   stats.result = cold;
+  stats.identity_result = cold;
   stats.steady_wall_seconds = stats.cold_wall_seconds;
   for (std::uint32_t r = 0; r < repeat; ++r) {
     SimResult steady;
@@ -168,6 +190,7 @@ ModeStats run_mode(const Topology& topology, const TrafficProgram& program,
     // Physical-only: a cold run misses the caches a steady run hits, so the
     // counters legitimately differ between the two regimes.
     if (!same_physical(cold, steady)) stats.self_consistent = false;
+    if (r + 1 == repeat) stats.identity_result = steady;
     if (r == 0 || wall < stats.steady_wall_seconds) {
       stats.steady_wall_seconds = wall;
       stats.result = std::move(steady);
@@ -202,6 +225,24 @@ void emit_mode(std::ostream& out, const char* name, const ModeStats& stats) {
       << (r.events > 0 ? 1e6 * r.route_seconds / events : 0.0)
       << ", \"dispatch_us_per_event\": "
       << (r.events > 0 ? 1e6 * r.dispatch_seconds / events : 0.0)
+      // Schema v6: the dispatch kernel's own phase split (advance = lazy
+      // flow advancement + zero-rate scan, select = dt selection, complete
+      // = harvest + compaction + DAG release), plus the dispatch cost
+      // normalized by flow concurrency — ns per event per 1024 peak-active
+      // flows — which is the honest cross-cell comparison when one cell
+      // runs 35 giant events and another runs millions of tiny ones.
+      << ", \"advance_us_per_event\": "
+      << (r.events > 0 ? 1e6 * r.advance_seconds / events : 0.0)
+      << ", \"select_us_per_event\": "
+      << (r.events > 0 ? 1e6 * r.select_seconds / events : 0.0)
+      << ", \"complete_us_per_event\": "
+      << (r.events > 0 ? 1e6 * r.complete_seconds / events : 0.0)
+      << ", \"peak_active_flows\": " << r.peak_active_flows
+      << ", \"dispatch_ns_per_event_per_kactive\": "
+      << (r.events > 0 && r.peak_active_flows > 0
+              ? 1e9 * r.dispatch_seconds / events /
+                    (static_cast<double>(r.peak_active_flows) / 1024.0)
+              : 0.0)
       << ", \"audit_us_per_event\": "
       << (r.events > 0 ? 1e6 * r.audit_seconds / events : 0.0)
       << ", \"solver_rounds\": " << r.solver_rounds
@@ -260,6 +301,12 @@ int main(int argc, char** argv) {
   cli.add_option("min-speedup",
                  "fail (exit 1) when any cell's steady speedup is below this",
                  "0");
+  cli.add_option("min-dispatch-speedup",
+                 "fail (exit 1) when any cell's dispatch-phase speedup "
+                 "(baseline dispatch_us_per_event / optimized) is below "
+                 "this; requires the baseline mode, so it is ignored under "
+                 "--optimized-only (0 = report only)",
+                 "0");
   cli.add_option("min-cold-speedup",
                  "fail (exit 1) when any cell's cold (first-run) speedup is "
                  "below this; cold runs pay cache construction, so the floor "
@@ -300,6 +347,7 @@ int main(int argc, char** argv) {
   const double latency = cli.get_double("latency");
   const double min_speedup = cli.get_double("min-speedup");
   const double min_cold_speedup = cli.get_double("min-cold-speedup");
+  const double min_dispatch_speedup = cli.get_double("min-dispatch-speedup");
   const bool optimized_only = cli.get_bool("optimized-only");
   const double max_rss_gb = cli.get_double("max-rss-gb");
   const std::size_t solve_cache_words =
@@ -332,7 +380,7 @@ int main(int argc, char** argv) {
   double best_4thread_speedup = 0.0;
   std::ofstream out(out_path);
   out.precision(12);
-  out << "{\n  \"schema\": \"nestflow-bench-engine-v5\",\n"
+  out << "{\n  \"schema\": \"nestflow-bench-engine-v6\",\n"
       << "  \"git_sha\": \"" << cli.get_string("git-sha") << "\",\n"
       << "  \"compiler\": \"" << compiler_id() << "\",\n"
       << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
@@ -405,6 +453,19 @@ int main(int argc, char** argv) {
                   << min_cold_speedup << "\n";
         ok = false;
       }
+      if (baseline && min_dispatch_speedup > 0.0) {
+        const double dispatch_speedup =
+            optimized.result.dispatch_seconds > 0.0
+                ? baseline->result.dispatch_seconds /
+                      optimized.result.dispatch_seconds
+                : 0.0;
+        if (dispatch_speedup < min_dispatch_speedup) {
+          std::cerr << "DISPATCH SPEEDUP BELOW TARGET on " << spec << " @ "
+                    << point.config_name() << ": " << dispatch_speedup
+                    << " < " << min_dispatch_speedup << "\n";
+          ok = false;
+        }
+      }
 
       if (!first_cell) out << ",\n";
       first_cell = false;
@@ -435,13 +496,17 @@ int main(int argc, char** argv) {
           const bool physical_identical =
               same_physical(serial->result, timed.result) &&
               timed.self_consistent;
+          // Counter identity compares identity_result (the final repeat
+          // iteration), never the best-of-repeat result: cache counters
+          // evolve across steady iterations, so comparing whichever
+          // iteration happened to be fastest is timing-dependent noise.
           bool counters_identical = true;
           if (threads > 1) {
             if (!parallel_reference) {
-              parallel_reference = timed.result;
+              parallel_reference = timed.identity_result;
             } else {
               counters_identical =
-                  same_full(*parallel_reference, timed.result);
+                  same_full(*parallel_reference, timed.identity_result);
             }
           }
           if (!physical_identical || !counters_identical) {

@@ -1,11 +1,12 @@
 #!/usr/bin/env sh
 # Perf-plumbing smoke: a small-N pass over the perf harness so the gating
 # machinery itself (identicality cross-checks, speedup and RSS gates, the
-# schema-v5 phase breakdown) cannot rot between manual run_bench.sh runs.
+# schema-v6 phase breakdown with its advance/select/complete dispatch
+# sub-timers) cannot rot between manual run_bench.sh runs.
 #
 # Usage: scripts/check_perf_smoke.sh [nodes] [rss-ceiling-gb]
 #
-# Two perf_engine passes on the release build, both cheap enough for CI:
+# Three perf_engine passes on the release build, all cheap enough for CI:
 #
 #   1. a baseline-vs-optimized pass (mapreduce + nearneighbors on
 #      NestGHC(t=2,u=4) at N=256) — the unconditional bit-identity
@@ -16,9 +17,14 @@
 #      the cold-vs-steady self-consistency gate and the memory budget the
 #      million-endpoint recipe relies on (default ceiling 2 GiB — the
 #      N=1024 cells sit well under 1).
+#   3. a dispatch-phase gate on the million-flow N=1024 mapreduce cell:
+#      --min-dispatch-speedup 1.2 fails the script if the kernelized
+#      dispatch (lazy advancement + fused whole-set sweep, DESIGN.md
+#      section 12) stops beating the eager reference sweep — the phase
+#      ratio run_bench.sh records at 1.3-1.6x.
 #
-# Identicality failures, thread divergence, or an RSS overrun exit
-# non-zero and fail CI.
+# Identicality failures, thread divergence, a dispatch-phase regression,
+# or an RSS overrun exit non-zero and fail CI.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -49,5 +55,14 @@ mkdir -p "$repo_root/build/artifacts"
   --max-rss-gb "$rss_gb" \
   --out "$repo_root/build/artifacts/BENCH_perf_smoke.json"
 
+"$build_dir/bench/perf_engine" \
+  --nodes "$nodes" \
+  --workloads mapreduce \
+  --points nestghc-t2-u4 \
+  --repeat 1 \
+  --min-dispatch-speedup 1.2 \
+  --solve-cache-mb 512 \
+  --out "$repo_root/build/artifacts/BENCH_perf_smoke_dispatch.json"
+
 echo "perf smoke: A/B + thread identicality at N=256, optimized-only" \
-  "at N=$nodes under $rss_gb GiB peak RSS — ok"
+  "at N=$nodes under $rss_gb GiB peak RSS, dispatch gate >= 1.2x — ok"

@@ -74,13 +74,17 @@ class AuditView {
     return engine_->rates_[f];
   }
   /// Bytes still to deliver (meaningful for active flows; a flow whose
-  /// pipeline fill outlives its transfer can legitimately sit at 0).
+  /// pipeline fill outlives its transfer can legitimately sit at 0). The
+  /// dispatch kernel materialises per-flow progress lazily (DESIGN.md §12),
+  /// so this settles the flow's slot state to the view's `now` on read —
+  /// same clamp arithmetic the engine itself uses, no mutation.
   [[nodiscard]] double flow_remaining(FlowIndex f) const noexcept {
-    return engine_->remaining_[f];
+    return engine_->settled_remaining(f, now_);
   }
-  /// Pipeline-fill seconds still to elapse (hop_latency_seconds model).
+  /// Pipeline-fill seconds still to elapse (hop_latency_seconds model);
+  /// settled to the view's `now` like flow_remaining.
   [[nodiscard]] double flow_latency_left(FlowIndex f) const noexcept {
-    return engine_->latency_left_[f];
+    return engine_->settled_latency_left(f, now_);
   }
   /// Full resource path (NICs included) of an *active* flow.
   [[nodiscard]] std::span<const LinkId> flow_path(FlowIndex f) const {

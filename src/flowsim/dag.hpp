@@ -24,6 +24,13 @@ class DependencyDag {
   /// Flows unblocked by the completion of `f`.
   [[nodiscard]] std::span<const FlowIndex> children(FlowIndex f) const;
 
+  /// Starts the CSR row-offset load for `f` early (the engine's completion
+  /// loop runs a software-prefetch pipeline over its harvest batch; the
+  /// offsets array is its only per-flow indirection outside engine state).
+  void prefetch_children(FlowIndex f) const noexcept {
+    __builtin_prefetch(offsets_.data() + f);
+  }
+
   /// Parent count per flow (how many completions each flow waits for).
   [[nodiscard]] const std::vector<std::uint32_t>& pending_parents()
       const noexcept {

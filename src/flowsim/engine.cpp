@@ -12,6 +12,11 @@
 #include <stdexcept>
 #include <thread>
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define NESTFLOW_SWEEP_AVX2 1
+#endif
+
 namespace nestflow {
 
 namespace {
@@ -24,6 +29,17 @@ bool release_after(const std::pair<double, FlowIndex>& a,
                    const std::pair<double, FlowIndex>& b) {
   return a.first > b.first;
 }
+
+/// "Less" comparator that turns std::*_heap into a MIN-heap over
+/// (finish, flow): the heap's notion of "largest" is the latest finish, so
+/// the front is always the earliest predicted finish — ties broken toward
+/// the smallest flow index, which is the deterministic order the dispatch
+/// contract promises. Generic parameters because FinishEntry is
+/// FlowEngine-private.
+constexpr auto finish_after = [](const auto& a, const auto& b) {
+  if (a.finish != b.finish) return a.finish > b.finish;
+  return a.flow > b.flow;
+};
 
 }  // namespace
 
@@ -121,22 +137,23 @@ void FlowEngine::drop_solve_cache() {
   solve_insert_armed_ = false;
 }
 
-bool FlowEngine::activate(FlowIndex f, SimResult& result) {
-  const FlowSpec& spec = program_->flow(f);
+bool FlowEngine::activate(FlowIndex f, double now, SimResult& result) {
+  // flows()[f], not flow(f): f comes from validated engine state, and the
+  // .at() bounds check is measurable at shuffle activation rates.
+  const FlowSpec& spec = program_->flows()[f];
   const Graph& graph = topology_.graph();
 
   std::uint32_t offset;
   std::uint32_t len;
-  const std::uint64_t pair_key =
-      (static_cast<std::uint64_t>(spec.src) << 32) | spec.dst;
-  const auto cached = route_cache_active_ ? route_cache_.find(pair_key)
-                                          : route_cache_.end();
-  if (cached != route_cache_.end()) {
+  const std::uint64_t pair_key = spec.pair_key();
+  const RouteCacheEntry* cached =
+      route_cache_active_ ? route_cache_.find(pair_key) : nullptr;
+  if (cached != nullptr) {
     // Memoized full resource path (the NIC links are themselves functions
     // of (src, dst)): share the cached extent instead of routing + copying.
     ++result.route_cache_hits;
-    offset = cached->second.offset;
-    len = cached->second.length;
+    offset = cached->offset;
+    len = cached->length;
     path_shared_[f] = 1;
   } else {
     route_scratch_.clear();
@@ -152,6 +169,11 @@ bool FlowEngine::activate(FlowIndex f, SimResult& result) {
 
     // Full resource path: injection NIC, transit links, consumption NIC.
     len = static_cast<std::uint32_t>(route_scratch_.links.size() + 2);
+    if (len > std::numeric_limits<std::uint16_t>::max()) {
+      // path_length_ is u16 on purpose (per-flow arrays scale with total
+      // flow count); the deepest nested route here is tens of links.
+      throw std::length_error("FlowEngine: route exceeds 65535 links");
+    }
     if (route_cache_active_) ++result.route_cache_misses;
     const bool cache_owned =
         route_cache_active_ && route_cache_.size() < kMaxCachedRoutes;
@@ -164,7 +186,7 @@ bool FlowEngine::activate(FlowIndex f, SimResult& result) {
       offset = static_cast<std::uint32_t>(shared_arena_.size());
       shared_arena_.resize(shared_arena_.size() + len);
       dst = shared_arena_.data() + offset;
-      route_cache_.emplace(pair_key, RouteCacheEntry{offset, len});
+      route_cache_.insert(pair_key, RouteCacheEntry{offset, len});
       path_shared_[f] = 1;
     } else {
       if (len < free_paths_by_length_.size() &&
@@ -185,16 +207,50 @@ bool FlowEngine::activate(FlowIndex f, SimResult& result) {
   }
 
   path_offset_[f] = offset;
-  path_length_[f] = len;
+  path_length_[f] = static_cast<std::uint16_t>(len);
   state_[f] = FlowState::kActive;
-  remaining_[f] = spec.bytes;
+
+  // Claim the next dispatch slot (slot index == position in active_flows_).
+  // Growth is manual 1.25x instead of the vector's doubling: at million-
+  // endpoint scale the live+old copies of a doubling realloc would dominate
+  // peak RSS, and run_impl pre-reserves the exact first wave anyway.
+  active_pos_[f] = static_cast<std::uint32_t>(active_flows_.size());
+  active_flows_.push_back(f);
+  if (slots_.capacity() < active_flows_.size()) {
+    const std::size_t want = std::max(
+        active_flows_.size(), slots_.capacity() + slots_.capacity() / 4);
+    slots_.reserve(want);
+    slot_rate_.reserve(want);
+    slot_finish_.reserve(want);
+  }
+  slots_.resize(active_flows_.size());
+  slot_rate_.resize(active_flows_.size());
+  slot_finish_.resize(active_flows_.size());
+  SlotState& slot = slots_.back();
+  slot.remaining = spec.bytes;
   // Pipeline-fill latency: one hop per transit link (the two NIC links are
   // endpoint-internal).
-  latency_left_[f] = options_.hop_latency_seconds > 0.0
-                         ? options_.hop_latency_seconds * (len - 2)
-                         : 0.0;
-  active_flows_.push_back(f);
+  slot.latency_left = options_.hop_latency_seconds > 0.0
+                          ? options_.hop_latency_seconds * (len - 2)
+                          : 0.0;
+  // Sentinel: no real rate compares equal, so the next advance pass is
+  // guaranteed to touch this flow (activation marks its links dirty, so it
+  // is always in the solved set). It is never multiplied: settling at the
+  // slot's own settle_time is an exact no-op.
+  slot_rate_.back() = -1.0;
+  slot.settle_time = now;
 
+  // Prefetch front-pass: the charge loop below touches four per-link
+  // structures at random link ids. At figure scale they sit in cache, but
+  // at 2^20 endpoints each is tens of MB and every first touch is a DRAM
+  // miss — starting all of them before any is consumed lets the misses
+  // overlap instead of serialising per link.
+  for (const LinkId l : path_view(f)) {
+    incidence_.prefetch(l);
+    __builtin_prefetch(&link_weight_sum_[l], 1);
+    __builtin_prefetch(&link_active_count_[l], 1);
+    __builtin_prefetch(&link_dirty_[l], 1);
+  }
   for (const LinkId l : path_view(f)) {
     incidence_.add(l, f);
     link_weight_sum_[l] += spec.weight;
@@ -217,8 +273,9 @@ void FlowEngine::complete(FlowIndex f, double now,
   // A completed flow delivered exactly its payload across every link of its
   // path; accounting once here is equivalent to (and much cheaper than)
   // accumulating rate*dt per event.
-  const double bytes = program_->flow(f).bytes;
-  const double weight = program_->flow(f).weight;
+  const FlowSpec& spec = program_->flows()[f];  // unchecked: f is active
+  const double bytes = spec.bytes;
+  const double weight = spec.weight;
   for (const LinkId l : path_view(f)) {
     link_bytes_[l] += bytes;
     if (--link_active_count_[l] == 0) --num_active_links_;
@@ -609,8 +666,21 @@ bool FlowEngine::try_cached_solve(SimResult& result,
 
   solve_key_hash_ = build_solve_key(links, flows, solve_key_);
   if (const double* memo = find_cached_rates(solve_key_, solve_key_hash_)) {
-    for (std::size_t i = 0; i < flows.size(); ++i) {
-      rates_[flows[i]] = memo[i];
+    if (options_.dispatch_strategy != DispatchStrategy::kIndexed &&
+        flows.data() == active_flows_.data() &&
+        flows.size() == active_flows_.size()) {
+      // Whole-set hit feeding this event's fused sweep (whole-set events
+      // always sweep under kEager/kAuto): the memo blob is already in slot
+      // order, so the sweep streams it directly — skipping this O(active)
+      // scatter AND its own rates_ gather. Bitwise equivalent: a flow whose
+      // rate is unchanged already holds these exact bits in rates_ (the
+      // lazy-advance invariant keeps rates_[f] == finish_rate between
+      // solves), and the sweep writes back every entry that differs.
+      whole_hit_slot_rates_ = memo;
+    } else {
+      for (std::size_t i = 0; i < flows.size(); ++i) {
+        rates_[flows[i]] = memo[i];
+      }
     }
     ++result.solve_cache_hits;
     return true;
@@ -681,7 +751,11 @@ void FlowEngine::apply_due_fault_events(FaultDriver& driver, double now,
 }
 
 bool FlowEngine::queue_retry(FlowIndex f, double now, SimResult& result) {
-  if (retry_count_[f] >= options_.max_retries) return false;
+  // The per-flow counter is a byte (see max_retries); the guard keeps the
+  // increment below from ever wrapping.
+  if (retry_count_[f] >= std::min<std::uint32_t>(options_.max_retries, 255)) {
+    return false;
+  }
   const double delay =
       options_.retry_backoff_seconds * std::ldexp(1.0, retry_count_[f]);
   ++retry_count_[f];
@@ -692,7 +766,8 @@ bool FlowEngine::queue_retry(FlowIndex f, double now, SimResult& result) {
   return true;
 }
 
-void FlowEngine::recover_flow(FlowIndex f, double now, SimResult& result) {
+void FlowEngine::recover_flow(FlowIndex f, double now, double remaining_now,
+                              SimResult& result) {
   last_event_ = "recovery";
   switch (options_.recovery_policy) {
     case RecoveryPolicy::kStrand:
@@ -700,22 +775,21 @@ void FlowEngine::recover_flow(FlowIndex f, double now, SimResult& result) {
       return;
     case RecoveryPolicy::kReroute: {
       detach_from_network(f);
-      const double left = remaining_[f];
-      if (!activate(f, result)) {
+      if (!activate(f, now, result)) {
         // No surviving path right now; the flow's progress cannot be parked
         // (reroute keeps no retry schedule), so it strands.
         strand(f, result);
         return;
       }
-      // activate() resets remaining to the full payload and restarts the
-      // pipeline fill; transferred bytes carry over, the fill (a new path)
-      // does not.
-      remaining_[f] = left;
+      // activate() seeded a fresh slot with the full payload and restarted
+      // the pipeline fill; transferred bytes carry over, the fill (a new
+      // path) does not.
+      slots_[active_pos_[f]].remaining = remaining_now;
       for (const LinkId l : path_view(f)) {
         if (link_capacity_[l] <= 0.0) {
           // A fault-oblivious topology handed back the same dead route;
           // tearing it down and re-activating forever would hang the run.
-          active_flows_.pop_back();  // activate() appended f just above
+          remove_active_slot(active_pos_[f]);  // activate() appended f above
           strand_active(f, result);
           return;
         }
@@ -728,6 +802,366 @@ void FlowEngine::recover_flow(FlowIndex f, double now, SimResult& result) {
       if (!queue_retry(f, now, result)) strand(f, result);
       return;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch kernel (DESIGN.md §12). One arithmetic, three access strategies:
+// per-flow progress is rebased ("settled") only when a flow's rate changes,
+// and between touches the flow's absolute predicted finish time — written
+// once per rate change — is the single source of truth the sweep/heap
+// strategies both read. That shared arithmetic is what makes every strategy
+// and thread count bit-identical.
+
+void FlowEngine::settle_slot(std::uint32_t s, double at) noexcept {
+  SlotState& slot = slots_[s];
+  const double elapsed = at - slot.settle_time;
+  // Exact no-op at elapsed == 0 (both stored values are >= 0; rate * 0 is
+  // 0), so fresh slots and already-settled flows lose nothing. This is also
+  // why the -1 finish_rate sentinel is never multiplied.
+  if (elapsed == 0.0) return;
+  slot.latency_left = std::max(0.0, slot.latency_left - elapsed);
+  slot.remaining =
+      std::max(0.0, slot.remaining - slot_rate_[s] * elapsed);
+  slot.settle_time = at;
+}
+
+double FlowEngine::settled_remaining(FlowIndex f, double at) const noexcept {
+  const std::uint32_t s = active_pos_[f];
+  const SlotState& slot = slots_[s];
+  const double elapsed = at - slot.settle_time;
+  if (elapsed == 0.0) return slot.remaining;
+  return std::max(0.0, slot.remaining - slot_rate_[s] * elapsed);
+}
+
+double FlowEngine::settled_latency_left(FlowIndex f,
+                                        double at) const noexcept {
+  const SlotState& slot = slots_[active_pos_[f]];
+  return std::max(0.0, slot.latency_left - (at - slot.settle_time));
+}
+
+void FlowEngine::remove_active_slot(std::uint32_t s) noexcept {
+  const std::uint32_t last =
+      static_cast<std::uint32_t>(active_flows_.size() - 1);
+  if (s != last) {
+    const FlowIndex moved = active_flows_[last];
+    active_flows_[s] = moved;
+    active_pos_[moved] = s;
+    slots_[s] = slots_[last];
+    slot_rate_[s] = slot_rate_[last];
+    slot_finish_[s] = slot_finish_[last];
+  }
+  active_flows_.pop_back();
+  slots_.pop_back();
+  slot_rate_.pop_back();
+  slot_finish_.pop_back();
+}
+
+void FlowEngine::advance_flows(std::span<const FlowIndex> flows, double now,
+                               std::vector<FlowIndex>& zero_out,
+                               std::vector<FlowIndex>* changed_out) {
+  // Quantise BEFORE the zero-rate test below: the recovery path restarts
+  // the event loop, and solved-but-skipped flows would otherwise keep raw
+  // rates that only a full (non-incremental) re-solve would ever
+  // re-quantise — the incremental path would then diverge from the naive
+  // one on the next event (found by the chaos harness, see src/verify/).
+  const double log_step = options_.rate_quantum_rel > 0.0
+                              ? std::log1p(options_.rate_quantum_rel)
+                              : 0.0;
+  const auto advance_one = [this, now, log_step](
+                               const FlowIndex f,
+                               std::vector<FlowIndex>& zero,
+                               std::vector<FlowIndex>* changed) {
+    double r = rates_[f];
+    if (log_step > 0.0 && r > 0.0) {
+      r = std::exp(std::floor(std::log(r) / log_step) * log_step);
+      rates_[f] = r;
+    }
+    const std::uint32_t s = active_pos_[f];
+    // Unchanged rate (bitwise): the stored absolute finish time is still
+    // exact — this is the lazy-advance invariant, nothing to rewrite.
+    if (r == slot_rate_[s]) return;
+    settle_slot(s, now);
+    SlotState& slot = slots_[s];
+    if (r <= 0.0 && slot.remaining > 0.0) {
+      // A dead (capacity-0) link sits on the flow's path — it could never
+      // finish as routed. Collected for the recovery policy.
+      zero.push_back(f);
+      return;
+    }
+    slot_rate_[s] = r;
+    // Explicit zero-rate guard for the scan: remaining == 0 with rate 0 is
+    // a pure pipeline-fill tail (a rerouted/faulted flow that already
+    // delivered its bytes), and remaining / rate would be 0/0 = NaN. The
+    // transfer term of such a flow is 0 — only the fill remains.
+    const double transfer = slot.remaining > 0.0 ? slot.remaining / r : 0.0;
+    slot_finish_[s] = now + std::max(slot.latency_left, transfer);
+    if (changed != nullptr) changed->push_back(f);
+  };
+
+  const std::size_t n = flows.size();
+  if (!parallel_active_ || n < 2 * kDispatchShardGrain) {
+    for (const FlowIndex f : flows) advance_one(f, zero_out, changed_out);
+    return;
+  }
+  // Sharded sweep: disjoint flow ranges (distinct flows own distinct slots,
+  // so there are no write races), per-shard output lists concatenated in
+  // shard order — which equals the serial enumeration order, so the result
+  // is bit-identical at any thread count.
+  const std::size_t nshards = std::min(
+      solver_pool_->size(), (n + kDispatchShardGrain - 1) / kDispatchShardGrain);
+  const std::size_t chunk = (n + nshards - 1) / nshards;
+  if (dispatch_shards_.size() < nshards) dispatch_shards_.resize(nshards);
+  solver_pool_->parallel_for(nshards, [&](std::size_t shard) {
+    DispatchShard& out = dispatch_shards_[shard];
+    out.zero.clear();
+    out.changed.clear();
+    const std::size_t begin = shard * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    for (std::size_t i = begin; i < end; ++i) {
+      advance_one(flows[i], out.zero,
+                  changed_out != nullptr ? &out.changed : nullptr);
+    }
+  });
+  for (std::size_t shard = 0; shard < nshards; ++shard) {
+    DispatchShard& out = dispatch_shards_[shard];
+    zero_out.insert(zero_out.end(), out.zero.begin(), out.zero.end());
+    if (changed_out != nullptr) {
+      changed_out->insert(changed_out->end(), out.changed.begin(),
+                          out.changed.end());
+    }
+  }
+}
+
+#if defined(NESTFLOW_SWEEP_AVX2)
+namespace {
+
+// Checked once at load: the binary is built without -mavx2, so the kernel
+// below carries its own target attribute and must be gated at runtime.
+const bool kSweepHaveAvx2 = __builtin_cpu_supports("avx2");
+
+// Advances `s` past 4-slot blocks in which every lane keeps its solved rate
+// (bitwise) and no lane's stored finish is at or below the candidate bound.
+// Such a block is provably untouched by the scalar sweep: the unchanged-rate
+// test skips every state write, and finish > bound >= fmin rules out both a
+// candidate push and an fmin update — so skipping it wholesale is
+// bit-identical. Returns the first index needing scalar handling (or `end`).
+// NEQ_UQ mirrors the scalar !(r == slot_rate) — an unordered lane
+// (impossible for engine rates, but kept exact anyway) counts as changed;
+// LE_OQ mirrors finish <= bound (unordered compares false, like the scalar).
+__attribute__((target("avx2"))) std::size_t sweep_skip_avx2(
+    const double* rates, const double* slot_rate, const double* slot_finish,
+    std::size_t s, std::size_t end, double bound) {
+  const __m256d vbound = _mm256_set1_pd(bound);
+  while (s + 4 <= end) {
+    // Three independent sequential streams; the explicit distance-64 hints
+    // keep all three ahead of the compares when the hardware prefetcher
+    // has to re-lock onto the streams after each scalar interruption.
+    __builtin_prefetch(rates + s + 64);
+    __builtin_prefetch(slot_rate + s + 64);
+    __builtin_prefetch(slot_finish + s + 64);
+    const __m256d r = _mm256_loadu_pd(rates + s);
+    const __m256d sr = _mm256_loadu_pd(slot_rate + s);
+    const __m256d fin = _mm256_loadu_pd(slot_finish + s);
+    const __m256d changed = _mm256_cmp_pd(r, sr, _CMP_NEQ_UQ);
+    const __m256d cand = _mm256_cmp_pd(fin, vbound, _CMP_LE_OQ);
+    if (_mm256_movemask_pd(_mm256_or_pd(changed, cand)) != 0) break;
+    s += 4;
+  }
+  return s;
+}
+
+}  // namespace
+#endif  // NESTFLOW_SWEEP_AVX2
+
+double FlowEngine::advance_flows_whole(double now,
+                                       std::vector<FlowIndex>& zero_out,
+                                       const double* slot_rates) {
+  // Same arithmetic as advance_flows, restricted to the case where the
+  // solved span IS active_flows_: slot s holds solved flow s, so the
+  // active_pos_ gather disappears and slots_/slot_finish_ stream
+  // sequentially. The unchanged-rate test runs before any slot write, so
+  // skipped flows are bitwise untouched either way; changed flows go
+  // through the identical quantise/settle/refresh sequence. Quantisation
+  // is applied unconditionally (as advance_flows does for every solved
+  // flow — and every slot is solved here), never re-applied to already-
+  // quantised skips: exp(floor(log r)) is not bitwise idempotent, so the
+  // r == finish_rate pre-check in the log_step == 0 path relies on the
+  // invariant that a live slot's rates_[f] only moves when solved.
+  const double log_step = options_.rate_quantum_rel > 0.0
+                              ? std::log1p(options_.rate_quantum_rel)
+                              : 0.0;
+  // Candidate bound: a slot whose finish is <= now + (fmin - now) * mult is
+  // a possible completion this event (the complete phase's deadline is that
+  // exact expression of the FINAL fmin, or smaller when an arrival/fault
+  // caps dt, or fmin itself via the max floor). The running bound computed
+  // from the running fmin only ever tightens, so every slot scanned before
+  // the final fmin was known saw a LOOSER bound — the candidate list is
+  // always a superset of the true harvest, never missing a completion.
+  const double batch_mult = 1.0 + options_.completion_batch_rel;
+  const std::size_t n = active_flows_.size();
+  const auto sweep_range = [this, now, log_step, slot_rates, batch_mult](
+                               std::size_t begin, std::size_t end,
+                               std::vector<FlowIndex>& zero,
+                               std::vector<std::uint32_t>& cand) {
+    double fmin = std::numeric_limits<double>::infinity();
+    double bound = std::numeric_limits<double>::infinity();
+    const auto note_finish = [&fmin, &bound, &cand, now,
+                              batch_mult](std::size_t s, double finish) {
+      if (finish <= bound) {
+        cand.push_back(static_cast<std::uint32_t>(s));
+        if (finish < fmin) {
+          fmin = finish;
+          // max floor: the deadline is floored at fmin itself (the product
+          // can round below it), so the bound must be too.
+          bound = std::max(now + (fmin - now) * batch_mult, fmin);
+        }
+      }
+    };
+#if defined(NESTFLOW_SWEEP_AVX2)
+    // Vector fast-skip for the dominant case (whole-set cache-hit blob, no
+    // quantisation): hop over 4-slot blocks with no rate change and no
+    // completion candidate in two packed compares, falling back to the
+    // scalar body — in ascending slot order — for any flagged block.
+    const bool vec_skip =
+        kSweepHaveAvx2 && slot_rates != nullptr && log_step == 0.0;
+#endif
+    for (std::size_t s = begin; s < end; ++s) {
+#if defined(NESTFLOW_SWEEP_AVX2)
+      if (vec_skip) {
+        s = sweep_skip_avx2(slot_rates, slot_rate_.data(), slot_finish_.data(),
+                            s, end, bound);
+        if (s >= end) break;
+      }
+#endif
+      // slot_rates streams sequentially; the rates_[f] gather it replaces
+      // is one DRAM miss per slot at million-flow scale. Writebacks then
+      // only happen past the unchanged test: a skipped flow's rates_ entry
+      // already holds exactly these bits (see try_cached_solve). The fast
+      // path touches only slot_rates/slot_rate_/slot_finish_ — the settle
+      // record (slots_) is never pulled in for unchanged flows.
+      double r = slot_rates != nullptr ? slot_rates[s]
+                                       : rates_[active_flows_[s]];
+      if (log_step > 0.0 && r > 0.0) {
+        r = std::exp(std::floor(std::log(r) / log_step) * log_step);
+        if (slot_rates == nullptr) rates_[active_flows_[s]] = r;
+      }
+      if (r == slot_rate_[s]) {
+        note_finish(s, slot_finish_[s]);
+        continue;
+      }
+      if (slot_rates != nullptr) rates_[active_flows_[s]] = r;
+      settle_slot(static_cast<std::uint32_t>(s), now);
+      SlotState& slot = slots_[s];
+      if (r <= 0.0 && slot.remaining > 0.0) {
+        zero.push_back(active_flows_[s]);
+        continue;
+      }
+      slot_rate_[s] = r;
+      const double transfer = slot.remaining > 0.0 ? slot.remaining / r : 0.0;
+      const double finish = now + std::max(slot.latency_left, transfer);
+      slot_finish_[s] = finish;
+      note_finish(s, finish);
+    }
+    return fmin;
+  };
+
+  cand_slots_.clear();
+  if (!parallel_active_ || n < 2 * kDispatchShardGrain) {
+    return sweep_range(0, n, zero_out, cand_slots_);
+  }
+  // Sharding mirrors advance_flows: disjoint slot ranges, zero lists
+  // concatenated in shard order (== slot order == the solved span's serial
+  // enumeration order), min reduced exactly (order-independent).
+  const std::size_t nshards = std::min(
+      solver_pool_->size(), (n + kDispatchShardGrain - 1) / kDispatchShardGrain);
+  const std::size_t chunk = (n + nshards - 1) / nshards;
+  if (dispatch_shards_.size() < nshards) dispatch_shards_.resize(nshards);
+  solver_pool_->parallel_for(nshards, [&](std::size_t shard) {
+    DispatchShard& out = dispatch_shards_[shard];
+    out.zero.clear();
+    out.cand.clear();
+    const std::size_t begin = shard * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    out.fmin = sweep_range(begin, end, out.zero, out.cand);
+  });
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t shard = 0; shard < nshards; ++shard) {
+    DispatchShard& out = dispatch_shards_[shard];
+    zero_out.insert(zero_out.end(), out.zero.begin(), out.zero.end());
+    cand_slots_.insert(cand_slots_.end(), out.cand.begin(), out.cand.end());
+    best = std::min(best, out.fmin);
+  }
+  return best;
+}
+
+double FlowEngine::min_slot_finish() {
+  const std::size_t n = slot_finish_.size();
+  if (!parallel_active_ || n < 2 * kDispatchShardGrain) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const double finish : slot_finish_) best = std::min(best, finish);
+    return best;
+  }
+  // The min of a set of doubles is order-independent (no rounding anywhere),
+  // so the per-shard partial mins reduce to the exact serial answer.
+  const std::size_t nshards = std::min(
+      solver_pool_->size(), (n + kDispatchShardGrain - 1) / kDispatchShardGrain);
+  const std::size_t chunk = (n + nshards - 1) / nshards;
+  if (dispatch_shards_.size() < nshards) dispatch_shards_.resize(nshards);
+  solver_pool_->parallel_for(nshards, [&](std::size_t shard) {
+    const std::size_t begin = shard * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t s = begin; s < end; ++s) {
+      best = std::min(best, slot_finish_[s]);
+    }
+    dispatch_shards_[shard].fmin = best;
+  });
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t shard = 0; shard < nshards; ++shard) {
+    best = std::min(best, dispatch_shards_[shard].fmin);
+  }
+  return best;
+}
+
+void FlowEngine::harvest_finished(double deadline) {
+  const std::size_t n = slot_finish_.size();
+  if (!parallel_active_ || n < 2 * kDispatchShardGrain) {
+    for (std::size_t s = 0; s < n; ++s) {
+      if (slot_finish_[s] <= deadline) {
+        harvest_scratch_.push_back(active_flows_[s]);
+      }
+    }
+    return;
+  }
+  const std::size_t nshards = std::min(
+      solver_pool_->size(), (n + kDispatchShardGrain - 1) / kDispatchShardGrain);
+  const std::size_t chunk = (n + nshards - 1) / nshards;
+  if (dispatch_shards_.size() < nshards) dispatch_shards_.resize(nshards);
+  solver_pool_->parallel_for(nshards, [&](std::size_t shard) {
+    DispatchShard& out = dispatch_shards_[shard];
+    out.harvest.clear();
+    const std::size_t begin = shard * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    for (std::size_t s = begin; s < end; ++s) {
+      if (slot_finish_[s] <= deadline) out.harvest.push_back(active_flows_[s]);
+    }
+  });
+  for (std::size_t shard = 0; shard < nshards; ++shard) {
+    const DispatchShard& out = dispatch_shards_[shard];
+    harvest_scratch_.insert(harvest_scratch_.end(), out.harvest.begin(),
+                            out.harvest.end());
+  }
+}
+
+void FlowEngine::rebuild_finish_heap() {
+  finish_heap_.clear();
+  const std::size_t n = active_flows_.size();
+  finish_heap_.reserve(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    finish_heap_.push_back(FinishEntry{slot_finish_[s], active_flows_[s]});
+  }
+  std::make_heap(finish_heap_.begin(), finish_heap_.end(), finish_after);
+  finish_heap_stale_ = false;
 }
 
 SimResult FlowEngine::run(const TrafficProgram& program) {
@@ -749,9 +1183,19 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
   state_.assign(n, FlowState::kPending);
   pending_parents_ = dag.pending_parents();
   retry_count_.assign(n, 0);
-  remaining_.assign(n, 0.0);
-  latency_left_.assign(n, 0.0);
   rates_.assign(n, 0.0);
+  // active_pos_ entries are only read while their flow is active (activate
+  // always writes first), so stale values from a previous run are fine —
+  // resize instead of assign to skip an O(n) fill.
+  active_pos_.resize(n);
+  slots_.clear();
+  slot_rate_.clear();
+  slot_finish_.clear();
+  finish_heap_.clear();
+  finish_heap_stale_ = true;
+  // Kept all-zero between events by the harvest extraction loop; only needs
+  // zeroing when the flow count grows.
+  finished_mask_.assign((n + 63) / 64, 0);
   path_offset_.assign(n, 0);
   path_length_.assign(n, 0);
   path_shared_.assign(n, 0);
@@ -820,6 +1264,24 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
   double weighted_active = 0.0;
   const EngineContext ctx{this};
 
+  // Exact-fit slot reservation for the first activation wave (flows with no
+  // dependencies and no future release time). On the big steady-state
+  // recipes the first wave IS the peak concurrency, and nailing it up front
+  // means the slot arrays never realloc mid-run — a doubling realloc at
+  // peak would transiently hold old + new copies and poison peak RSS.
+  {
+    std::size_t immediate = 0;
+    for (const FlowIndex f : ready) {
+      const FlowSpec& spec = program.flow(f);
+      if (!spec.is_sync && spec.release_seconds <= 0.0) ++immediate;
+    }
+    if (slots_.capacity() < immediate) {
+      slots_.reserve(immediate);
+      slot_rate_.reserve(immediate);
+      slot_finish_.reserve(immediate);
+    }
+  }
+
   last_event_ = "start";
   // Consecutive events with frozen time and no state change; see the
   // kLivelock watchdog at the bottom of the loop.
@@ -859,7 +1321,19 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
       const FlowIndex f = ready[i];
       if (state_[f] != FlowState::kPending) continue;  // cancelled meanwhile
       last_event_ = "activation";
-      const FlowSpec& spec = program.flow(f);
+      if (route_cache_active_) {
+        // Route-table lookups probe DRAM in hash order; start the probe for
+        // a flow a few activations ahead so the bucket line is resident by
+        // the time activate() reads it. ready may grow mid-loop (sync
+        // cascades), so the bound is re-read each iteration.
+        constexpr std::size_t kRouteLookahead = 8;
+        if (i + kRouteLookahead < ready.size()) {
+          const FlowSpec& ahead =
+              program.flows()[ready[i + kRouteLookahead]];
+          if (!ahead.is_sync) route_cache_.prefetch(ahead.pair_key());
+        }
+      }
+      const FlowSpec& spec = program.flows()[f];
       if (spec.release_seconds > now * (1.0 + 1e-12) &&
           spec.release_seconds > 0.0) {
         release_queue_.emplace_back(spec.release_seconds, f);
@@ -878,7 +1352,7 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
             ready.push_back(child);
           }
         }
-      } else if (!activate(f, result)) {
+      } else if (!activate(f, now, result)) {
         // No surviving path (dead endpoint or partition). Under restart
         // backoff the partition may heal — a repair event can precede the
         // retry — so the flow waits out its backoff instead of stranding;
@@ -918,6 +1392,7 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
     if (options_.time_solver) solve_start = std::chrono::steady_clock::now();
     // Flows whose rates this event's solve (re)wrote; the quantise and
     // zero-rate recovery passes below enumerate exactly this set.
+    whole_hit_slot_rates_ = nullptr;
     std::span<const FlowIndex> solved = active_flows_;
     if (incremental_) {
       // One selection policy serves both the serial and the parallel
@@ -1025,10 +1500,11 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
                                         solve_start)
               .count();
     }
-    // Everything from here to the end of the iteration (quantisation,
-    // zero-rate recovery, time advance, completion scan) is "event
-    // dispatch" in the per-phase breakdown; auditor callbacks are timed
-    // separately.
+    // Everything from here to the end of the iteration (rate quantisation,
+    // lazy advance, zero-rate recovery, time advance, completion harvest)
+    // is "event dispatch" in the per-phase breakdown; auditor callbacks are
+    // timed separately, and the advance/select/complete sub-timers carve up
+    // the dispatch total (schema v6).
     std::chrono::steady_clock::time_point dispatch_start;
     const auto take_dispatch = [&result, &dispatch_start, this] {
       if (options_.time_solver) {
@@ -1040,63 +1516,125 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
     if (options_.time_solver) {
       dispatch_start = std::chrono::steady_clock::now();
     }
+    std::chrono::steady_clock::time_point phase_start = dispatch_start;
+    const auto lap = [&result, &phase_start, this](double SimResult::*field) {
+      if (options_.time_solver) {
+        const auto now_tp = std::chrono::steady_clock::now();
+        result.*field +=
+            std::chrono::duration<double>(now_tp - phase_start).count();
+        phase_start = now_tp;
+      }
+    };
+
+    // --- Advance: settle rate-changed flows, refresh finish times --------
     // Only freshly solved flows can have changed rate; untouched components
     // keep both their (positive) rates and their quantised values, exactly
-    // as a full solve-and-requantise would recompute them.
-    //
-    // Quantise BEFORE the zero-rate recovery scan below: its `continue`
-    // restarts the loop, and solved-but-skipped flows would otherwise keep
-    // raw rates that only a full (non-incremental) re-solve would ever
-    // re-quantise — the incremental path would then diverge from the naive
-    // one on the next event (found by the chaos harness, see src/verify/).
-    if (options_.rate_quantum_rel > 0.0) {
-      const double log_step = std::log1p(options_.rate_quantum_rel);
-      for (const FlowIndex f : solved) {
-        const double r = rates_[f];
-        if (r <= 0.0) continue;  // dead-link flows: keep 0 for recovery
-        rates_[f] = std::exp(std::floor(std::log(r) / log_step) * log_step);
-      }
-    }
-    // A rate of 0 means a dead (capacity-0) link sits on the flow's path —
-    // it could never finish as routed. Hand such flows to the recovery
-    // policy (strand / reroute / restart-backoff) and re-solve.
+    // as a full solve-and-requantise would recompute them. The strategy
+    // choice is a pure function of engine state (never of timing or thread
+    // count): kAuto sweeps when this event re-solved at least half the
+    // active set — the heap would be rebuilt wholesale anyway — and
+    // indexes otherwise. Any sweep event leaves the heap stale; the next
+    // indexed event rebuilds it.
+    const bool sweep_event =
+        options_.dispatch_strategy == DispatchStrategy::kEager ||
+        (options_.dispatch_strategy == DispatchStrategy::kAuto &&
+         2 * solved.size() >= active_flows_.size());
+    if (sweep_event) finish_heap_stale_ = true;
+    changed_scratch_.clear();
     zero_rate_scratch_.clear();
-    for (const FlowIndex f : solved) {
-      if (rates_[f] <= 0.0 && remaining_[f] > 0.0) {
-        zero_rate_scratch_.push_back(f);
-      }
+    // Whole-set events (the span aliases active_flows_ itself — cache hits,
+    // threshold and bailed solves) take the fused slot-order sweep, which
+    // also yields the select phase's min for free. Component sweeps keep
+    // the span path + separate min scan.
+    const bool whole_sweep = sweep_event &&
+                             solved.data() == active_flows_.data() &&
+                             solved.size() == active_flows_.size();
+    double fused_fmin = std::numeric_limits<double>::infinity();
+    if (whole_sweep) {
+      fused_fmin =
+          advance_flows_whole(now, zero_rate_scratch_, whole_hit_slot_rates_);
+    } else {
+      advance_flows(solved, now, zero_rate_scratch_,
+                    sweep_event ? nullptr : &changed_scratch_);
     }
     if (!zero_rate_scratch_.empty()) {
+      // A rate of 0 with bytes left means a dead (capacity-0) link sits on
+      // the flow's path — it could never finish as routed. Hand such flows
+      // to the recovery policy (strand / reroute / restart-backoff) and
+      // re-solve. Every recovery outcome leaves the active list (strand,
+      // requeue) or re-enters it with a fresh slot (reroute), so slots are
+      // freed first; the settled residual rides along because the slot that
+      // held it is gone by the time the policy runs.
       if (!legacy_strand_order) {
         std::sort(zero_rate_scratch_.begin(), zero_rate_scratch_.end());
       }
-      // Pull them off the active list up front: every recovery outcome
-      // either leaves the list (strand, requeue) or re-enters it through
-      // activate() — processing first would leave rerouted flows listed
-      // twice.
-      std::erase_if(active_flows_, [this](FlowIndex f) {
-        return rates_[f] <= 0.0 && remaining_[f] > 0.0 &&
-               state_[f] == FlowState::kActive;
-      });
       for (const FlowIndex f : zero_rate_scratch_) {
-        recover_flow(f, now, result);
+        const std::uint32_t s = active_pos_[f];
+        const double left = slots_[s].remaining;
+        remove_active_slot(s);
+        recover_flow(f, now, left, result);
       }
+      // Flows whose finish changed this event were never pushed onto the
+      // heap (the push below is skipped by the continue), so it cannot be
+      // trusted for the next indexed event.
+      finish_heap_stale_ = true;
+      lap(&SimResult::advance_seconds);
       take_dispatch();
       continue;
     }
+    lap(&SimResult::advance_seconds);
 
-    double dt = std::numeric_limits<double>::infinity();
-    for (const FlowIndex f : active_flows_) {
-      dt = std::min(dt, std::max(latency_left_[f],
-                                 remaining_[f] / rates_[f]));
+    // --- Select: earliest predicted finish, then arrival/fault caps ------
+    double fmin;
+    if (sweep_event) {
+      fmin = whole_sweep ? fused_fmin : min_slot_finish();
+    } else {
+      if (finish_heap_stale_ ||
+          finish_heap_.size() > 4 * active_flows_.size() + 64) {
+        // Stale after a sweep/recovery, or bloated with lazy-deleted
+        // entries: rebuild from the live slots (which also covers every
+        // flow changed this event).
+        rebuild_finish_heap();
+      } else {
+        for (const FlowIndex f : changed_scratch_) {
+          finish_heap_.push_back(
+              FinishEntry{slot_finish_[active_pos_[f]], f});
+          std::push_heap(finish_heap_.begin(), finish_heap_.end(),
+                         finish_after);
+        }
+      }
+      // Pop to the first live entry: one whose flow is still active and
+      // whose finish bits match the flow's current prediction (lazy
+      // deletion discards the rest). The invariant that every active flow
+      // has a live entry makes this the exact min over the active set —
+      // the same double the sweep would find.
+      fmin = std::numeric_limits<double>::infinity();
+      while (!finish_heap_.empty()) {
+        const FinishEntry top = finish_heap_.front();
+        if (state_[top.flow] == FlowState::kActive &&
+            slot_finish_[active_pos_[top.flow]] == top.finish) {
+          fmin = top.finish;
+          break;
+        }
+        std::pop_heap(finish_heap_.begin(), finish_heap_.end(), finish_after);
+        finish_heap_.pop_back();
+      }
+      if (!(fmin < std::numeric_limits<double>::infinity())) {
+        // Unreachable by the invariant above; a rebuild restores it cheaply
+        // rather than letting a latent bookkeeping bug stall the horizon.
+        rebuild_finish_heap();
+        if (!finish_heap_.empty()) fmin = finish_heap_.front().finish;
+      }
     }
-    // Never step past the next arrival: it changes the rate allocation.
+    // dt is the gap to the earliest finish unless an arrival or fault event
+    // lands first: both change the rate allocation, so time never steps
+    // past them. Events due at `now` were applied at the top of the
+    // iteration, so the next fault is strictly later and dt stays >= 0.
+    const double flow_dt = fmin - now;
+    double dt = flow_dt;
     if (!release_queue_.empty()) {
       dt = std::min(dt, std::max(0.0, release_queue_.front().first - now));
     }
-    // Nor past the next fault event: capacities change there. Events due at
-    // `now` were applied at the top of the iteration, so the next one is
-    // strictly later and dt stays positive.
     if (have_timeline) {
       const double next_fault = driver->next_event_time();
       if (std::isfinite(next_fault)) {
@@ -1113,6 +1651,7 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
       throw EngineError(EngineError::Kind::kMaxEventsExceeded,
                         loop_snapshot(result.events, now));
     }
+    lap(&SimResult::select_seconds);
 
     if (audit_events) {
       take_dispatch();
@@ -1123,13 +1662,23 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
       auditor_->on_event(AuditView(*this, now, dt, result.events));
       if (options_.time_solver) {
         dispatch_start = std::chrono::steady_clock::now();
+        phase_start = dispatch_start;
         result.audit_seconds +=
             std::chrono::duration<double>(dispatch_start - audit_start)
                 .count();
       }
     }
 
-    const double threshold = dt * (1.0 + options_.completion_batch_rel);
+    // --- Complete: harvest everything inside the batching window ---------
+    // The deadline is absolute: old now + dt*(1 + batch_rel). When dt is
+    // flow-defined (not capped by an arrival/fault), it is additionally
+    // floored at fmin itself, because now + (fmin - now) can round BELOW
+    // fmin — the defining flow must always pass its own completion test.
+    // Survivors provably keep finish > deadline >= the new now (the
+    // deadline product and sum are FP-monotone), so the next event's dt
+    // stays non-negative.
+    double deadline = now + dt * (1.0 + options_.completion_batch_rel);
+    if (dt == flow_dt) deadline = std::max(deadline, fmin);
     now += dt;
     weighted_active += static_cast<double>(active_flows_.size()) * dt;
     result.peak_active_flows = std::max(
@@ -1137,20 +1686,128 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
         static_cast<std::uint32_t>(active_flows_.size()));
 
     const std::size_t active_before = active_flows_.size();
-    for (const FlowIndex f : active_flows_) {
-      // Pipeline fill overlaps the transfer: done when both have elapsed.
-      if (std::max(latency_left_[f], remaining_[f] / rates_[f]) <= threshold) {
-        remaining_[f] = 0.0;
-        latency_left_[f] = 0.0;
-        complete(f, now, ready);
-      } else {
-        latency_left_[f] = std::max(0.0, latency_left_[f] - dt);
-        remaining_[f] = std::max(0.0, remaining_[f] - rates_[f] * dt);
+    harvest_scratch_.clear();
+    if (whole_sweep) {
+      // The fused sweep already collected every possible completion (a
+      // superset — see advance_flows_whole); filter it against the actual
+      // deadline instead of re-scanning a million slot finishes. Candidate
+      // order is slot order, exactly what harvest_finished would produce.
+      for (const std::uint32_t s : cand_slots_) {
+        if (slot_finish_[s] <= deadline) {
+          harvest_scratch_.push_back(active_flows_[s]);
+        }
+      }
+    } else if (sweep_event) {
+      harvest_finished(deadline);
+    } else {
+      // Drain the heap up to the deadline; live entries are this event's
+      // completions, lazy-deleted ones just leave. Every harvested flow's
+      // entries are at the front by the heap property, so nothing live can
+      // be missed.
+      while (!finish_heap_.empty() &&
+             finish_heap_.front().finish <= deadline) {
+        const FinishEntry top = finish_heap_.front();
+        std::pop_heap(finish_heap_.begin(), finish_heap_.end(), finish_after);
+        finish_heap_.pop_back();
+        if (state_[top.flow] == FlowState::kActive &&
+            slot_finish_[active_pos_[top.flow]] == top.finish) {
+          harvest_scratch_.push_back(top.flow);
+        }
       }
     }
-    std::erase_if(active_flows_, [this](FlowIndex f) {
-      return state_[f] != FlowState::kActive;
-    });
+    // Process in ascending flow order — the strategy- and thread-count-
+    // independent order (the sweep collects in slot order, the heap in
+    // finish order; both reduce to the same sequence). Ordering goes
+    // through the flow bitmap instead of a sort, which also collapses
+    // duplicate live heap entries (a rate that changed and changed back
+    // lands the same (finish, flow) twice).
+    if (harvest_scratch_.size() > 1) {
+      std::size_t lo = finished_mask_.size();
+      std::size_t hi = 0;
+      for (const FlowIndex f : harvest_scratch_) {
+        const std::size_t w = f >> 6;
+        finished_mask_[w] |= 1ull << (f & 63u);
+        lo = std::min(lo, w);
+        hi = std::max(hi, w);
+      }
+      harvest_scratch_.clear();
+      for (std::size_t w = lo; w <= hi; ++w) {
+        std::uint64_t bits = finished_mask_[w];
+        if (bits == 0) continue;
+        finished_mask_[w] = 0;
+        const FlowIndex base = static_cast<FlowIndex>(w << 6);
+        do {
+          harvest_scratch_.push_back(
+              base + static_cast<FlowIndex>(std::countr_zero(bits)));
+          bits &= bits - 1;
+        } while (bits != 0);
+      }
+    }
+    const std::size_t batch = harvest_scratch_.size();
+    const FlowSpec* const specs = program.flows().data();
+    for (std::size_t i = 0; i < batch; ++i) {
+      // Two-stage lookahead: the far stage pulls the flow-indexed records
+      // in; the near stage reads them (now resident) to start the truly
+      // random loads — the flow's slot (remove_active_slot's swap target)
+      // and its path extent — early enough to hide DRAM latency under a
+      // giant batch (the mapreduce shuffle completes ~30k flows per event).
+      constexpr std::size_t kFar = 24;
+      constexpr std::size_t kNear = 8;
+      if (i + kFar < batch) {
+        const FlowIndex pf = harvest_scratch_[i + kFar];
+        __builtin_prefetch(&state_[pf]);
+        __builtin_prefetch(&active_pos_[pf]);
+        __builtin_prefetch(&path_offset_[pf]);
+        __builtin_prefetch(&path_length_[pf]);
+        __builtin_prefetch(&path_shared_[pf]);
+        __builtin_prefetch(specs + pf);
+        dag.prefetch_children(pf);
+      }
+      if (i + kNear < batch) {
+        const FlowIndex pf = harvest_scratch_[i + kNear];
+        if (state_[pf] == FlowState::kActive) {
+          const std::uint32_t ps = active_pos_[pf];
+          __builtin_prefetch(&slots_[ps], 1);
+          __builtin_prefetch(&slot_rate_[ps], 1);
+          __builtin_prefetch(&slot_finish_[ps], 1);
+          __builtin_prefetch(&active_flows_[ps], 1);
+          __builtin_prefetch((path_shared_[pf] ? shared_arena_.data()
+                                               : path_arena_.data()) +
+                             path_offset_[pf]);
+        }
+        // The removal that processes pf will move the then-tail flow into
+        // pf's slot and rewrite that flow's active_pos_ entry — a random
+        // store. The tail is consumed in order, so the flow kNear removals
+        // from the back is (approximately, completions can skip) the one
+        // that removal will move; start its position line now.
+        if (active_flows_.size() > kNear) {
+          __builtin_prefetch(
+              &active_pos_[active_flows_[active_flows_.size() - 1 - kNear]],
+              1);
+        }
+      }
+      // Third stage: the near stage made the path extent resident, so the
+      // link ids themselves are readable — start the per-link state loads
+      // complete() will hit. A wash at figure scale (the link arrays live
+      // in cache), but at 2^20 endpoints they are tens of MB each and
+      // every first touch is a DRAM miss.
+      constexpr std::size_t kLink = 3;
+      if (i + kLink < batch) {
+        const FlowIndex pf = harvest_scratch_[i + kLink];
+        if (state_[pf] == FlowState::kActive) {
+          for (const LinkId l : path_view(pf)) {
+            __builtin_prefetch(&link_weight_sum_[l], 1);
+            __builtin_prefetch(&link_active_count_[l], 1);
+            __builtin_prefetch(&link_bytes_[l], 1);
+            incidence_.prefetch(l);
+          }
+        }
+      }
+      const FlowIndex f = harvest_scratch_[i];
+      if (state_[f] != FlowState::kActive) continue;
+      remove_active_slot(active_pos_[f]);
+      complete(f, now, ready);
+    }
 
     // Watchdog: an event that advanced neither simulated time nor any flow's
     // lifecycle is only legal as a transient (e.g. a zero-dt arrival step).
@@ -1162,6 +1819,7 @@ SimResult FlowEngine::run_impl(const TrafficProgram& program,
       throw EngineError(EngineError::Kind::kLivelock,
                         loop_snapshot(result.events, now));
     }
+    lap(&SimResult::complete_seconds);
     take_dispatch();
   }
 

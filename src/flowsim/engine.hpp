@@ -89,6 +89,27 @@ enum class AuditLevel : std::uint8_t {
   kPerEvent,  // additionally on_event after every rate solve (full oracles)
 };
 
+/// Event-dispatch kernel of the engine (dt selection and completion
+/// harvesting between rate solves). Every strategy runs the same dispatch
+/// arithmetic — per-flow progress is rebased ("settled") only when a
+/// flow's rate changes, and completions are decided on absolute predicted
+/// finish times — so results are bit-identical across strategies and
+/// thread counts; the strategies differ only in HOW the earliest finish
+/// and the completion batch are found. See DESIGN.md §12.
+enum class DispatchStrategy : std::uint8_t {
+  /// Full finish-time sweep over the active set every event. O(active)
+  /// per event; the reference yardstick the chaos harness pins.
+  kEager,
+  /// Indexed min-heap over predicted finish times with lazy deletion:
+  /// dt selection and completion harvesting cost O(changed log active)
+  /// per event instead of O(active).
+  kIndexed,
+  /// Per-event choice (pure function of engine state, never of timing):
+  /// sweep when this event re-solved at least half the active set — the
+  /// heap would be rebuilt wholesale anyway — and index otherwise.
+  kAuto,
+};
+
 struct EngineOptions {
   /// Completions within (1 + completion_batch_rel) of the earliest finish
   /// are folded into one event. 0 disables batching (exact event order).
@@ -173,6 +194,13 @@ struct EngineOptions {
   /// bit-identical results; kAuto adapts per solve and is right for
   /// everything but differential testing.
   SolverStrategy solver_strategy = SolverStrategy::kAuto;
+  /// Event-dispatch kernel (see DispatchStrategy above). Every strategy
+  /// produces bit-identical results at every thread count — they share one
+  /// dispatch arithmetic and differ only in how the earliest finish time
+  /// and the completion batch are located. kAuto adapts per event and is
+  /// right for everything but differential testing; kEager is the
+  /// reference yardstick the chaos harness pins.
+  DispatchStrategy dispatch_strategy = DispatchStrategy::kAuto;
   /// Worker threads for the per-event rate re-solve. The dirty components
   /// between events are independent max-min problems (they share no links),
   /// so with solver_threads > 1 the engine owns a keep-alive ThreadPool for
@@ -200,7 +228,10 @@ struct EngineOptions {
   /// (same simulated instant), which only helps when the fault is already
   /// repaired; pair a positive backoff with repair events.
   double retry_backoff_seconds = 0.0;
-  /// Attempts per flow before kRestartBackoff strands it.
+  /// Attempts per flow before kRestartBackoff strands it. Effectively
+  /// clamped to 255 (the per-flow retry counter is a byte — per-flow arrays
+  /// scale with total flow count, and 255 doublings of the backoff overflow
+  /// double anyway).
   std::uint32_t max_retries = 3;
 };
 
@@ -234,6 +265,15 @@ struct SimResult {
   /// bit-identity contracts the way the cache counters are.
   double route_seconds = 0.0;
   double dispatch_seconds = 0.0;
+  /// Sub-phases of dispatch_seconds (schema v6): advancing rate-changed
+  /// flows (quantisation + settle + finish-time refresh + zero-rate
+  /// recovery), selecting dt (finish-time min + arrival/fault caps), and
+  /// harvesting/processing completions. advance + select + complete ≈
+  /// dispatch up to timer overhead; like the other timers these measure
+  /// effort, not physics, and are exempt from the bit-identity contracts.
+  double advance_seconds = 0.0;
+  double select_seconds = 0.0;
+  double complete_seconds = 0.0;
   double audit_seconds = 0.0;
   double max_link_utilization = 0.0;  // busiest link's bytes/(cap*makespan)
   double avg_active_flows = 0.0;      // time-weighted mean active flow count
@@ -362,9 +402,10 @@ class FlowEngine {
   };
   friend struct EngineContext;
 
-  /// Routes and activates f; returns false (leaving f untouched) when the
+  /// Routes and activates f at simulated time `now` (the fresh dispatch
+  /// slot settles there); returns false (leaving f untouched) when the
   /// topology reports the pair stranded. Reroute accounting goes to result.
-  [[nodiscard]] bool activate(FlowIndex f, SimResult& result);
+  [[nodiscard]] bool activate(FlowIndex f, double now, SimResult& result);
   void complete(FlowIndex f, double now, std::vector<FlowIndex>& ready);
   /// Marks a never-activated flow stranded and cancels its DAG descendants.
   void strand(FlowIndex f, SimResult& result);
@@ -379,9 +420,13 @@ class FlowEngine {
   /// capacities (marking them dirty for the incremental solver).
   void apply_due_fault_events(FaultDriver& driver, double now,
                               SimResult& result);
-  /// Dispatches a zero-rate active flow (already pulled off active_flows_)
-  /// to the configured recovery policy.
-  void recover_flow(FlowIndex f, double now, SimResult& result);
+  /// Dispatches a zero-rate active flow (already pulled off active_flows_,
+  /// its dispatch slot freed) to the configured recovery policy.
+  /// `remaining_now` is the flow's settled residual byte count — passed in
+  /// because the slot that held it is gone by the time this runs; kReroute
+  /// seeds the re-activated flow's fresh slot with it.
+  void recover_flow(FlowIndex f, double now, double remaining_now,
+                    SimResult& result);
   /// Requeues f for a fresh activation attempt after its exponential
   /// backoff; false when its retry budget is exhausted (caller strands).
   [[nodiscard]] bool queue_retry(FlowIndex f, double now, SimResult& result);
@@ -465,11 +510,13 @@ class FlowEngine {
   // Per-flow state (sized per run).
   std::vector<FlowState> state_;
   std::vector<std::uint32_t> pending_parents_;
-  std::vector<double> remaining_;
-  std::vector<double> latency_left_;  // pipeline-fill time still to elapse
   std::vector<double> rates_;
   std::vector<std::uint32_t> path_offset_;
-  std::vector<std::uint32_t> path_length_;
+  /// Hop counts fit u16 comfortably (the deepest nested route here is tens
+  /// of links; activate() range-checks before narrowing). Narrow on purpose:
+  /// per-flow arrays are sized by total flow count, and the million-endpoint
+  /// recipes run tens of millions of flows.
+  std::vector<std::uint16_t> path_length_;
   /// 1 when the flow's path extent belongs to the route cache (shared with
   /// other flows of the same endpoint pair, never recycled on completion).
   std::vector<std::uint8_t> path_shared_;
@@ -495,7 +542,81 @@ class FlowEngine {
     std::uint32_t length;
   };
   static constexpr std::size_t kMaxCachedRoutes = 1u << 20;
-  std::unordered_map<std::uint64_t, RouteCacheEntry> route_cache_;
+  /// Open-addressing (pair key) -> extent table. The lookup runs once per
+  /// flow activation and at steady state always hits, so it is the route
+  /// phase's inner loop: a flat power-of-two slot array with linear probing
+  /// costs one splitmix64 finalizer plus (at <=50% load, almost always) one
+  /// 16-byte slot read — versus the bucket chase and heap-allocated nodes
+  /// of a std::unordered_map. Keys are FlowSpec::pair_key(), which is never
+  /// the all-ones word (see its doc), freeing ~0 as the empty sentinel.
+  class RouteCacheTable {
+   public:
+    [[nodiscard]] const RouteCacheEntry* find(
+        std::uint64_t key) const noexcept {
+      if (slots_.empty()) return nullptr;
+      for (std::size_t i = bucket(key);; i = (i + 1) & mask_) {
+        const Slot& slot = slots_[i];
+        if (slot.key == key) return &slot.entry;
+        if (slot.key == kEmptySlot) return nullptr;
+      }
+    }
+    /// Inserts a key known to be absent (activate() only inserts on miss).
+    void insert(std::uint64_t key, RouteCacheEntry entry) {
+      if ((size_ + 1) * 2 > slots_.size()) grow(slots_.size() * 4);
+      place(key, entry);
+      ++size_;
+    }
+    /// Pre-sizes for n entries at the <=50% target load factor.
+    void reserve(std::size_t n) {
+      if (n * 2 > slots_.size()) grow(n * 2);
+    }
+    /// Pulls a key's home bucket toward the cache ahead of find(). The
+    /// table probes DRAM in hash order (unlike the node-based map it
+    /// replaced, whose pool pages followed first-activation order), so a
+    /// steady-state replay loop otherwise eats one cold miss per lookup.
+    void prefetch(std::uint64_t key) const noexcept {
+      if (!slots_.empty()) __builtin_prefetch(slots_.data() + bucket(key));
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+   private:
+    static constexpr std::uint64_t kEmptySlot = ~0ull;
+    struct Slot {
+      std::uint64_t key = kEmptySlot;
+      RouteCacheEntry entry{0, 0};
+    };
+    [[nodiscard]] std::size_t bucket(std::uint64_t key) const noexcept {
+      // splitmix64 finalizer: pair keys are structured (src in the high
+      // word), so a full-width mix is needed before masking.
+      std::uint64_t h = key;
+      h ^= h >> 30;
+      h *= 0xbf58476d1ce4e5b9ull;
+      h ^= h >> 27;
+      h *= 0x94d049bb133111ebull;
+      h ^= h >> 31;
+      return static_cast<std::size_t>(h) & mask_;
+    }
+    void place(std::uint64_t key, RouteCacheEntry entry) noexcept {
+      std::size_t i = bucket(key);
+      while (slots_[i].key != kEmptySlot) i = (i + 1) & mask_;
+      slots_[i].key = key;
+      slots_[i].entry = entry;
+    }
+    void grow(std::size_t min_slots) {
+      std::size_t want = 64;
+      while (want < min_slots) want *= 2;
+      std::vector<Slot> old = std::move(slots_);
+      slots_.assign(want, Slot{});
+      mask_ = want - 1;
+      for (const Slot& slot : old) {
+        if (slot.key != kEmptySlot) place(slot.key, slot.entry);
+      }
+    }
+    std::vector<Slot> slots_;  // power-of-two sized; empty until first grow
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+  };
+  RouteCacheTable route_cache_;
   const bool route_cache_active_;  // pure function of options + topology
 
   // Solve memoization (EngineOptions::solve_cache). Component content —
@@ -529,6 +650,13 @@ class FlowEngine {
   /// work-routing decision: rates are bit-identical either way.
   bool whole_set_hint_ = false;
   std::uint32_t whole_probe_misses_ = 0;
+  /// Set by a whole-set cache hit whose rates will be consumed by this
+  /// event's fused sweep (dispatch strategy is not kIndexed): points at the
+  /// memo blob — slot order — inside solve_rates_arena_, which cannot
+  /// reallocate before the sweep runs (inserts only happen on miss events).
+  /// The replay scatter into rates_ is skipped in that case; the sweep
+  /// writes back only the entries that changed. Cleared every event.
+  const double* whole_hit_slot_rates_ = nullptr;
 
   // Incremental-solver state (EngineOptions::incremental_solver).
   bool incremental_ = false;  // resolved per run()
@@ -577,6 +705,118 @@ class FlowEngine {
   std::vector<double> link_bytes_;
 
   std::vector<FlowIndex> active_flows_;
+
+  // --- Dispatch-kernel state (DESIGN.md §12) -----------------------------
+  // Per-ACTIVE-SLOT progress, indexed by the flow's position in
+  // active_flows_ and swap-compacted with it, so this memory follows peak
+  // concurrency rather than total flow count. A flow's byte/pipeline state
+  // is only materialised ("settled") when its rate changes or it finishes;
+  // in between, its absolute predicted finish time is the sole truth.
+  struct SlotState {
+    double remaining;     // bytes left as of settle_time
+    double latency_left;  // pipeline-fill seconds left as of settle_time
+    double settle_time;   // when remaining/latency_left were materialised
+  };
+  std::vector<SlotState> slots_;     // size == active_flows_.size()
+  /// Rate slot_finish_ was computed with (-1 fresh). Kept out of SlotState
+  /// on purpose: the advance sweep's unchanged-rate fast path reads ONLY
+  /// this and slot_finish_, so splitting it keeps that path at 16 streamed
+  /// bytes per slot instead of pulling the whole settle record in.
+  std::vector<double> slot_rate_;
+  std::vector<double> slot_finish_;  // absolute predicted finish per slot
+  std::vector<std::uint32_t> active_pos_;  // flow -> slot (valid iff active)
+  /// Min-heap over predicted finish times (kIndexed; ties break by flow
+  /// index) with lazy deletion: an entry is live iff its flow is active AND
+  /// its finish bits equal the flow's current slot_finish_. Any sweep event
+  /// leaves it stale (the sweep does not maintain it); the next indexed
+  /// event rebuilds. Never allocated while kAuto stays in sweep mode.
+  struct FinishEntry {
+    double finish;
+    FlowIndex flow;
+  };
+  std::vector<FinishEntry> finish_heap_;
+  bool finish_heap_stale_ = true;
+  std::vector<FlowIndex> changed_scratch_;  // rate-changed flows this event
+  std::vector<FlowIndex> harvest_scratch_;  // completion batch this event
+  /// Flow-index bitmap used to put each event's completion batch into
+  /// canonical ascending-flow order (and dedup lazy-heap duplicates)
+  /// without sorting: set a bit per harvested flow, then scan the touched
+  /// word range with ctz. O(batch + range/64) versus the O(batch log batch)
+  /// std::sort it replaced — the mapreduce shuffle harvests ~30k flows per
+  /// phase event. Words are zeroed on extraction, so the vector stays
+  /// all-zero between events.
+  std::vector<std::uint64_t> finished_mask_;
+  /// Sharded-sweep scratch (mirrors the solver kernel's shard discipline:
+  /// disjoint slot ranges, per-shard partials, serial deterministic reduce).
+  static constexpr std::size_t kDispatchShardGrain = 65536;
+  struct DispatchShard {
+    std::vector<FlowIndex> zero;
+    std::vector<FlowIndex> changed;
+    std::vector<FlowIndex> harvest;
+    std::vector<std::uint32_t> cand;
+    double fmin;
+  };
+  std::vector<DispatchShard> dispatch_shards_;
+  /// Completion candidates collected by the fused whole-set sweep: slots
+  /// whose predicted finish was <= a running deadline bound derived from
+  /// the running min finish. The bound only tightens as the sweep
+  /// proceeds, so the list is always a superset of the true harvest; the
+  /// complete phase filters it against the actual deadline instead of
+  /// re-scanning all of slot_finish_.
+  std::vector<std::uint32_t> cand_slots_;
+
+  /// Rebases slot s's remaining/latency_left to time `at` using the rate
+  /// its finish time was computed with. Exact bitwise no-op when `at`
+  /// equals the slot's settle time (both stored values are >= 0 and
+  /// rate * 0 == 0), which is why skipped flows lose nothing.
+  void settle_slot(std::uint32_t s, double at) noexcept;
+  /// Settled view of an active flow's residual bytes / pipeline-fill time
+  /// at time `at` without mutating the slot (AuditView reads).
+  [[nodiscard]] double settled_remaining(FlowIndex f,
+                                         double at) const noexcept;
+  [[nodiscard]] double settled_latency_left(FlowIndex f,
+                                            double at) const noexcept;
+  /// Swap-compacts slot s out of active_flows_/slots_/slot_finish_,
+  /// repointing active_pos_ of the moved tail flow. O(1) per removal —
+  /// this replaces the legacy per-event O(active) erase_if compaction.
+  void remove_active_slot(std::uint32_t s) noexcept;
+  /// The advance kernel: quantises each solved flow's rate, settles flows
+  /// whose rate differs from the one their finish time was computed with,
+  /// refreshes their predicted finish, and collects zero-rate actives into
+  /// `zero_out` (and, when non-null, rate-changed flows into
+  /// `changed_out`). Sharded over the solver pool above
+  /// 2*kDispatchShardGrain flows; shard-order concatenation of the output
+  /// lists equals serial enumeration order, so results are bit-identical
+  /// at any thread count.
+  void advance_flows(std::span<const FlowIndex> flows, double now,
+                     std::vector<FlowIndex>& zero_out,
+                     std::vector<FlowIndex>* changed_out);
+  /// Fused whole-set sweep for events whose solved span IS active_flows_
+  /// (whole-set cache hits, threshold/bailed solves): iterates slots in
+  /// order — skipping the flow->slot gather advance_flows needs for
+  /// arbitrary spans — and folds the next-finish min into the same pass,
+  /// replacing a separate min_slot_finish() scan. Bit-identical to
+  /// advance_flows + min_slot_finish on such events: slot order equals the
+  /// solved span's order there, and an unchanged rate compares equal before
+  /// any slot state is touched. Returns the min predicted finish.
+  /// When `slot_rates` is non-null it is this event's solved rates in slot
+  /// order (a whole-set solve-cache hit's memo blob) and the sweep streams
+  /// it instead of gathering rates_[f]; rates_ writebacks then happen only
+  /// for flows whose rate actually changed (the unchanged entries already
+  /// hold these exact bits — see try_cached_solve).
+  [[nodiscard]] double advance_flows_whole(double now,
+                                           std::vector<FlowIndex>& zero_out,
+                                           const double* slot_rates);
+  /// Minimum of slot_finish_ over all live slots; sharded like
+  /// advance_flows (the min of a set of doubles is order-independent, so
+  /// the per-shard reduce is exact).
+  [[nodiscard]] double min_slot_finish();
+  /// Appends every flow whose predicted finish is <= deadline to
+  /// harvest_scratch_; sharded like advance_flows.
+  void harvest_finished(double deadline);
+  /// Rebuilds finish_heap_ from the live slots, clears the stale flag.
+  void rebuild_finish_heap();
+
   /// Dependency-free flows waiting for their release time, earliest first.
   /// Restart-backoff retries park here too (at now + backoff).
   std::vector<std::pair<double, FlowIndex>> release_queue_;  // min-heap
@@ -587,7 +827,7 @@ class FlowEngine {
   // Dynamic-fault state (run(program, driver) only).
   [[nodiscard]] SimResult run_impl(const TrafficProgram& program,
                                    FaultDriver* driver);
-  std::vector<std::uint32_t> retry_count_;   // per flow, sized per run
+  std::vector<std::uint8_t> retry_count_;  // per flow; see max_retries clamp
   std::vector<FlowIndex> zero_rate_scratch_;
   std::vector<std::pair<LinkId, double>> fault_changed_scratch_;
 

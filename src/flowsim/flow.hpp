@@ -34,6 +34,14 @@ struct FlowSpec {
   /// dependencies are met and their release time has passed; src/dst are
   /// ignored.
   bool is_sync = false;
+
+  /// The (src, dst) pair packed into one word — the identity the engine's
+  /// route cache keys by. Never ~0ull: endpoint ids are < 2^32 - 1 (they
+  /// index a u32-counted machine), so the all-ones word is free to serve
+  /// as the cache's empty-slot sentinel.
+  [[nodiscard]] constexpr std::uint64_t pair_key() const noexcept {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
+  }
 };
 
 class TrafficProgram {

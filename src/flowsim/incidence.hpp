@@ -74,6 +74,13 @@ class LinkFlowIncidence {
     return {slots_.data() + e.offset, e.size};
   }
 
+  /// Starts the load of l's extent record early (the engine's completion
+  /// loop prefetches each upcoming flow's per-link state; the extent is
+  /// touched by note_stale/should_compact on every path link).
+  void prefetch(LinkId l) const noexcept {
+    __builtin_prefetch(extents_.data() + l, 1);
+  }
+
   /// Records that one of l's entries went inactive (lazy removal). Only
   /// valid for flows that stay inactive: readers filter stale entries with
   /// an activity predicate, which cannot tell "done" from "moved to another

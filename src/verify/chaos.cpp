@@ -107,6 +107,23 @@ constexpr std::array<RecoveryPolicy, 3> kPolicies{
                               std::string(text) + "'");
 }
 
+[[nodiscard]] const char* dispatch_name(DispatchStrategy strategy) {
+  switch (strategy) {
+    case DispatchStrategy::kAuto: return "auto";
+    case DispatchStrategy::kEager: return "eager";
+    case DispatchStrategy::kIndexed: return "indexed";
+  }
+  return "?";
+}
+
+[[nodiscard]] DispatchStrategy parse_dispatch(std::string_view text) {
+  if (text == "auto") return DispatchStrategy::kAuto;
+  if (text == "eager") return DispatchStrategy::kEager;
+  if (text == "indexed") return DispatchStrategy::kIndexed;
+  throw std::invalid_argument("chaos config: unknown dispatch strategy '" +
+                              std::string(text) + "'");
+}
+
 [[nodiscard]] ChaosFaultMode parse_fault_mode(std::string_view text) {
   if (text == "none") return ChaosFaultMode::kNone;
   if (text == "static") return ChaosFaultMode::kStatic;
@@ -391,6 +408,12 @@ ChaosConfig make_chaos_config(std::uint64_t seed) {
   config.solver_strategy =
       std::array{SolverStrategy::kAuto, SolverStrategy::kHeap,
                  SolverStrategy::kScan}[rng.next_below(3)];
+  // Same discipline for the dispatch axis, added after solver_strategy:
+  // drawn last-of-all so every earlier knob still sees its historical
+  // Prng stream.
+  config.dispatch_strategy =
+      std::array{DispatchStrategy::kAuto, DispatchStrategy::kEager,
+                 DispatchStrategy::kIndexed}[rng.next_below(3)];
   return config;
 }
 
@@ -417,6 +440,7 @@ std::string to_config_string(const ChaosConfig& config) {
   add("solvecache", config.solve_cache ? "1" : "0");
   add("threads", std::to_string(config.solver_threads));
   add("strategy", strategy_name(config.solver_strategy));
+  add("dispatch", dispatch_name(config.dispatch_strategy));
   add("policy", policy_name(config.recovery_policy));
   add("backoff", fmt_double(config.retry_backoff_seconds));
   add("times", config.record_flow_times ? "1" : "0");
@@ -468,6 +492,8 @@ ChaosConfig parse_config_string(const std::string& text) {
     // default kAuto — absence is tolerated, only bad values throw.
     else if (key == "strategy")
       config.solver_strategy = parse_strategy(value);
+    else if (key == "dispatch")
+      config.dispatch_strategy = parse_dispatch(value);
     else if (key == "policy") config.recovery_policy = parse_policy(value);
     else if (key == "backoff")
       config.retry_backoff_seconds = parse_f64(key, value);
@@ -543,6 +569,7 @@ void run_chaos(const ChaosConfig& config) {
   reference_options.solve_cache = false;
   reference_options.solver_threads = 1;
   reference_options.solver_strategy = SolverStrategy::kHeap;
+  reference_options.dispatch_strategy = DispatchStrategy::kEager;
   const SimResult reference = run_trial(config, *topology, program, picks,
                                         reference_options, run_kind,
                                         poisson_horizon);
@@ -556,6 +583,7 @@ void run_chaos(const ChaosConfig& config) {
   variant_options.solver_threads =
       config.incremental_solver ? config.solver_threads : 1;
   variant_options.solver_strategy = config.solver_strategy;
+  variant_options.dispatch_strategy = config.dispatch_strategy;
   const SimResult variant = run_trial(config, *topology, program, picks,
                                       variant_options, run_kind,
                                       poisson_horizon);
@@ -609,6 +637,9 @@ ChaosConfig shrink_config(const ChaosConfig& config) {
       // Forcing the reference kernel exonerates (or indicts) the scan/auto
       // paths: if the failure survives on kHeap, the new kernel is not it.
       [](ChaosConfig& c) { c.solver_strategy = SolverStrategy::kHeap; },
+      // Same idea for dispatch: a failure that survives on the eager sweep
+      // clears the indexed/auto dispatch kernels.
+      [](ChaosConfig& c) { c.dispatch_strategy = DispatchStrategy::kEager; },
       [](ChaosConfig& c) { c.solve_cache = false; },
       [](ChaosConfig& c) { c.route_cache = false; },
       [](ChaosConfig& c) {

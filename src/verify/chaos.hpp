@@ -69,6 +69,11 @@ struct ChaosConfig {
   /// this knob differentially pins the scan/auto kernels against it across
   /// the whole coverage matrix.
   SolverStrategy solver_strategy = SolverStrategy::kAuto;
+  /// Event-dispatch kernel of the variant run. The reference run always
+  /// forces DispatchStrategy::kEager (the full-sweep yardstick), so
+  /// sampling this knob differentially pins the indexed/auto dispatch
+  /// kernels against it across the whole coverage matrix.
+  DispatchStrategy dispatch_strategy = DispatchStrategy::kAuto;
   RecoveryPolicy recovery_policy = RecoveryPolicy::kStrand;
   double retry_backoff_seconds = 0.0;
   bool record_flow_times = false;

@@ -1,0 +1,327 @@
+// A/B bit-identity suite for the dispatch kernel (DESIGN.md §12): across
+// every workload, every topology family, thread counts {1,2,4,8}, faults,
+// quantisation and warm replay, the lazy/indexed dispatch strategies must
+// produce SimResults identical to the legacy eager full sweep. Plain == on
+// the doubles is the contract — lazy advancement settles skipped flows with
+// the exact arithmetic the eager sweep applies, so there is nothing to be
+// "close" about. Also holds the zero-rate regression tests: a flow whose
+// rate a fault timeline drives to zero must pass through the completion
+// scan without inf/NaN, under every strategy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "flowsim/engine.hpp"
+#include "resilience/fault_model.hpp"
+#include "resilience/fault_router.hpp"
+#include "resilience/fault_timeline.hpp"
+#include "topo/factory.hpp"
+#include "topo/torus.hpp"
+#include "util/prng.hpp"
+#include "workloads/factory.hpp"
+
+namespace nestflow {
+namespace {
+
+constexpr double kBps = kDefaultLinkBps;
+
+const std::vector<std::string>& family_specs() {
+  static const std::vector<std::string> specs = {
+      "torus:4x4x2",     "fattree:4,4",    "thintree:4,2,2",
+      "nesttree:64,2,2", "nestghc:64,2,2", "dragonfly:2,4,2",
+      "jellyfish:24,2,4,7"};
+  return specs;
+}
+
+const std::vector<DispatchStrategy>& all_strategies() {
+  static const std::vector<DispatchStrategy> strategies = {
+      DispatchStrategy::kEager, DispatchStrategy::kIndexed,
+      DispatchStrategy::kAuto};
+  return strategies;
+}
+
+std::string strategy_name(DispatchStrategy strategy) {
+  switch (strategy) {
+    case DispatchStrategy::kEager: return "eager";
+    case DispatchStrategy::kIndexed: return "indexed";
+    case DispatchStrategy::kAuto: return "auto";
+  }
+  return "?";
+}
+
+TrafficProgram generate(const Topology& topology, const std::string& spec) {
+  WorkloadContext context;
+  context.num_tasks = topology.num_endpoints();
+  context.seed = hash_combine(42, std::hash<std::string>{}(spec));
+  return make_workload(spec)->generate(context);
+}
+
+/// Some workloads reject some machine sizes (e.g. recursive doubling wants
+/// a power of two); such cells are skipped exactly as the sweep driver does.
+std::optional<TrafficProgram> try_generate(const Topology& topology,
+                                           const std::string& spec) {
+  try {
+    return generate(topology, spec);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+/// Bitwise SimResult comparison minus the work counters (phase timers and
+/// cache/solver effort measure work, and doing less of it is the point).
+void expect_identical(const SimResult& a, const SimResult& b,
+                      const std::string& context) {
+  EXPECT_EQ(a.makespan, b.makespan) << context;
+  EXPECT_EQ(a.total_bytes, b.total_bytes) << context;
+  EXPECT_EQ(a.num_flows, b.num_flows) << context;
+  EXPECT_EQ(a.events, b.events) << context;
+  EXPECT_EQ(a.max_link_utilization, b.max_link_utilization) << context;
+  EXPECT_EQ(a.avg_active_flows, b.avg_active_flows) << context;
+  EXPECT_EQ(a.peak_active_flows, b.peak_active_flows) << context;
+  EXPECT_EQ(a.stranded_flows, b.stranded_flows) << context;
+  EXPECT_EQ(a.cancelled_flows, b.cancelled_flows) << context;
+  EXPECT_EQ(a.rerouted_flows, b.rerouted_flows) << context;
+  EXPECT_EQ(a.reroute_extra_hops, b.reroute_extra_hops) << context;
+  EXPECT_EQ(a.undelivered_bytes, b.undelivered_bytes) << context;
+  for (std::size_t c = 0; c < a.bytes_by_class.size(); ++c) {
+    EXPECT_EQ(a.bytes_by_class[c], b.bytes_by_class[c]) << context;
+  }
+  ASSERT_EQ(a.flow_finish_times.size(), b.flow_finish_times.size()) << context;
+  for (std::size_t f = 0; f < a.flow_finish_times.size(); ++f) {
+    // NaN marks stranded/cancelled flows; compare bit-presence, not value.
+    if (std::isnan(a.flow_finish_times[f])) {
+      EXPECT_TRUE(std::isnan(b.flow_finish_times[f])) << context;
+    } else {
+      EXPECT_EQ(a.flow_finish_times[f], b.flow_finish_times[f]) << context;
+    }
+  }
+}
+
+SimResult run_with(const Topology& topology, const TrafficProgram& program,
+                   DispatchStrategy strategy, EngineOptions base,
+                   const FaultModel* faults = nullptr) {
+  base.adaptive_routing = false;  // identical deterministic paths
+  base.record_flow_times = true;
+  base.dispatch_strategy = strategy;
+  FlowEngine engine(topology, base);
+  if (faults != nullptr) faults->apply(engine);
+  return engine.run(program);
+}
+
+/// Runs one cell under the eager reference and every other strategy,
+/// expecting bitwise agreement.
+void expect_strategies_agree(const Topology& topology,
+                             const TrafficProgram& program,
+                             const EngineOptions& base,
+                             const std::string& context,
+                             const FaultModel* faults = nullptr) {
+  const SimResult eager =
+      run_with(topology, program, DispatchStrategy::kEager, base, faults);
+  for (const DispatchStrategy strategy :
+       {DispatchStrategy::kIndexed, DispatchStrategy::kAuto}) {
+    const SimResult other = run_with(topology, program, strategy, base, faults);
+    expect_identical(eager, other, context + " [" + strategy_name(strategy) +
+                                       " vs eager]");
+  }
+}
+
+TEST(DispatchAB, BitIdenticalAcrossWorkloadsAndFamilies) {
+  for (const auto& family : family_specs()) {
+    const auto topo = make_topology(family);
+    for (const auto& spec : all_workload_names()) {
+      const auto program = try_generate(*topo, spec);
+      if (!program) continue;
+      expect_strategies_agree(*topo, *program, {}, family + " x " + spec);
+    }
+  }
+}
+
+TEST(DispatchAB, BitIdenticalAcrossThreadCounts) {
+  // The sharded sweep must reduce to the same bits at any worker count; the
+  // serial single-thread eager run anchors strategies x threads {2,4,8}.
+  for (const std::string family : {"torus:4x4x2", "nestghc:64,2,2"}) {
+    const auto topo = make_topology(family);
+    for (const std::string spec : {"flood", "nearneighbors", "alltoall"}) {
+      const auto program = try_generate(*topo, spec);
+      if (!program) continue;
+      const SimResult anchor =
+          run_with(*topo, *program, DispatchStrategy::kEager, {});
+      for (const std::uint32_t threads : {2u, 4u, 8u}) {
+        EngineOptions options;
+        options.solver_threads = threads;
+        for (const DispatchStrategy strategy : all_strategies()) {
+          const std::string context = family + " x " + spec + " (" +
+                                      strategy_name(strategy) + ", " +
+                                      std::to_string(threads) + " threads)";
+          const SimResult parallel =
+              run_with(*topo, *program, strategy, options);
+          expect_identical(anchor, parallel, context);
+        }
+      }
+    }
+  }
+}
+
+TEST(DispatchAB, BitIdenticalWithQuantizationAndLatency) {
+  // Quantisation forces frequent whole-set rate changes (the eager sweep's
+  // home turf); hop latency exercises the max(latency, transfer) branch of
+  // the predicted finish times the indexed queue orders by.
+  EngineOptions options;
+  options.rate_quantum_rel = 0.05;
+  options.hop_latency_seconds = 1e-6;
+  for (const auto& family : family_specs()) {
+    const auto topo = make_topology(family);
+    for (const std::string spec : {"allreduce", "sweep3d", "nearneighbors"}) {
+      const auto program = try_generate(*topo, spec);
+      if (!program) continue;
+      expect_strategies_agree(*topo, *program, options,
+                              family + " x " + spec + " (quantised)");
+    }
+  }
+}
+
+TEST(DispatchAB, BitIdenticalUnderFaults) {
+  for (const auto& family : family_specs()) {
+    const auto plain = make_topology(family);
+    for (const std::uint64_t seed : {7ull, 8ull}) {
+      const auto faults =
+          FaultModel::random_cable_faults(plain->graph(), 0.05, seed);
+      const FaultAwareRouter routed(*plain, faults);
+      for (const std::string spec : {"unstructured-app", "reduce"}) {
+        // Dead links on a fault-oblivious topology: flows strand mid-run,
+        // driving the zero-rate recovery path under every strategy.
+        {
+          const TrafficProgram program = generate(*plain, spec);
+          expect_strategies_agree(
+              *plain, program, {},
+              family + " x " + spec + " (dead links, seed " +
+                  std::to_string(seed) + ")",
+              &faults);
+        }
+        // Same faults behind a FaultAwareRouter: detours and reroutes.
+        {
+          EngineOptions options;
+          options.recovery_policy = RecoveryPolicy::kReroute;
+          const TrafficProgram program = generate(routed, spec);
+          expect_strategies_agree(
+              routed, program, options,
+              family + " x " + spec + " (fault-aware, seed " +
+                  std::to_string(seed) + ")",
+              &faults);
+        }
+      }
+    }
+  }
+}
+
+TEST(DispatchAB, WarmRunsReplayAcrossStrategies) {
+  // Warm route/solve caches change which flows the solver marks dirty per
+  // event — exactly the set lazy advancement skips — so warm replays are
+  // the sharpest probe of the settle arithmetic. Every strategy's warm runs
+  // must replay its own cold run and the eager cold anchor bit-for-bit.
+  for (const std::string family : {"nestghc:64,2,2", "fattree:4,4"}) {
+    const auto topo = make_topology(family);
+    for (const std::string spec : {"sweep3d", "allreduce"}) {
+      const TrafficProgram program = generate(*topo, spec);
+      std::optional<SimResult> anchor;
+      for (const DispatchStrategy strategy : all_strategies()) {
+        EngineOptions options;
+        options.adaptive_routing = false;
+        options.record_flow_times = true;
+        options.dispatch_strategy = strategy;
+        FlowEngine engine(*topo, options);
+        const SimResult cold = engine.run(program);
+        const std::string context =
+            family + " x " + spec + " (" + strategy_name(strategy) + ")";
+        if (!anchor) {
+          anchor = cold;
+        } else {
+          expect_identical(*anchor, cold, context + " vs eager anchor");
+        }
+        for (int warm = 0; warm < 2; ++warm) {
+          const SimResult again = engine.run(program);
+          expect_identical(cold, again, context + " (warm)");
+          EXPECT_EQ(again.route_cache_misses, 0u)
+              << context << ": warm runs must route entirely from cache";
+          EXPECT_EQ(again.solve_cache_misses, 0u)
+              << context << ": warm runs must solve entirely from cache";
+        }
+      }
+    }
+  }
+}
+
+/// One run of a single 1-hop flow on an 8-ring whose cable dies at
+/// `fail_at`, under the given strategy/options. Fresh topology, fault
+/// model and timeline per run so strategies never share mutable state.
+SimResult run_ring_timeline(DispatchStrategy strategy, double fail_at,
+                            double bytes, EngineOptions options) {
+  const TorusTopology ring({8});
+  FaultTimeline timeline;
+  timeline.fail_cable(fail_at, ring.graph().find_link(1, 0));
+  FaultModel faults(ring.graph());
+  TimelineFaultDriver driver(timeline, faults);
+  options.adaptive_routing = false;
+  options.record_flow_times = true;
+  options.dispatch_strategy = strategy;
+  FlowEngine engine(ring, options);
+  TrafficProgram program;
+  program.add_flow(1, 0, bytes);
+  return engine.run(program, driver);
+}
+
+TEST(DispatchZeroRate, TimelineZeroRateFlowSurvivesTheScan) {
+  // Cable dies mid-transfer: the flow reaches the completion scan holding
+  // rate 0 with bytes remaining. The scan must not divide 0 bytes/s into
+  // the residual (inf/NaN finish time) — the zero-rate guard hands the
+  // flow to recovery instead, identically under every strategy.
+  std::optional<SimResult> anchor;
+  for (const DispatchStrategy strategy : all_strategies()) {
+    const std::string context = "mid-transfer kill, " + strategy_name(strategy);
+    const SimResult result = run_ring_timeline(strategy, 0.25, kBps, {});
+    EXPECT_EQ(result.stranded_flows, 1u) << context;
+    // Stranding charges the flow's whole payload as undelivered (the
+    // partial transfer is not counted as goodput), matching the
+    // FaultTimeline accounting convention.
+    EXPECT_DOUBLE_EQ(result.undelivered_bytes, kBps) << context;
+    EXPECT_NEAR(result.makespan, 0.25, 1e-9) << context;
+    EXPECT_TRUE(std::isfinite(result.makespan)) << context;
+    if (!anchor) {
+      anchor = result;
+    } else {
+      expect_identical(*anchor, result, context);
+    }
+  }
+}
+
+TEST(DispatchZeroRate, ZeroRateLatencyTailStillCompletes) {
+  // Pipeline-fill tail: hop latency (1 s) outlives the transfer (0.5 s), so
+  // after t = 0.5 the flow sits active with remaining == 0 waiting out its
+  // fill. Killing the cable at t = 0.7 then zeroes its rate — the scan sees
+  // remaining == 0 AND rate == 0, the exact 0/0 NaN shape the guard exists
+  // for. All bytes were already delivered, so the flow must NOT strand: it
+  // completes on latency alone at t = 1.0, under every strategy.
+  EngineOptions options;
+  options.hop_latency_seconds = 1.0;
+  std::optional<SimResult> anchor;
+  for (const DispatchStrategy strategy : all_strategies()) {
+    const std::string context = "latency tail, " + strategy_name(strategy);
+    const SimResult result =
+        run_ring_timeline(strategy, 0.7, 0.5 * kBps, options);
+    EXPECT_EQ(result.stranded_flows, 0u) << context;
+    EXPECT_DOUBLE_EQ(result.undelivered_bytes, 0.0) << context;
+    EXPECT_NEAR(result.makespan, 1.0, 1e-9) << context;
+    if (!anchor) {
+      anchor = result;
+    } else {
+      expect_identical(*anchor, result, context);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nestflow
